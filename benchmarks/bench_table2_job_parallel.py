@@ -1,0 +1,17 @@
+"""Join order benchmark, multi-threaded (Table 2).
+
+Regenerates the corresponding result of the paper's evaluation with the
+synthetic workload substitutes described in DESIGN.md.  Run with::
+
+    pytest benchmarks/bench_table2_job_parallel.py --benchmark-only -s
+"""
+
+from repro.bench.experiments import table2
+
+from conftest import run_experiment
+
+
+def test_table2(benchmark):
+    """Run the table2 experiment once and print the reproduced output."""
+    output = run_experiment(benchmark, table2, scale=1.0, threads=8)
+    assert output["records"], "the experiment produced no per-query records"

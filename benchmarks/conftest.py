@@ -1,0 +1,42 @@
+"""Shared helpers for the per-table / per-figure benchmark modules.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+experiment runs once inside pytest-benchmark (``rounds=1``) — the interesting
+output is the table/series itself, which is printed so that
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bench.report import format_series, format_table
+
+
+def run_experiment(benchmark, experiment: Callable[..., dict[str, Any]], **kwargs) -> dict:
+    """Run one experiment exactly once under pytest-benchmark and print it."""
+    output = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
+    print()
+    print(render(output))
+    return output
+
+
+def render(output: dict[str, Any]) -> str:
+    """Render an experiment output dictionary as text."""
+    parts: list[str] = []
+    title = output.get("title", "experiment")
+    if "rows" in output:
+        parts.append(format_table(title, output["rows"]))
+    if "series" in output:
+        parts.append(format_series(title, output["series"]))
+    for key in ("chain", "star", "m1", "m_half"):
+        if key in output and isinstance(output[key], dict) and "series" in output[key]:
+            parts.append(format_series(output[key]["title"], output[key]["series"]))
+    for key in ("standard", "udf"):
+        if key in output and isinstance(output[key], list):
+            parts.append(format_table(f"{title} ({key})", output[key]))
+    if "scatter" in output:
+        parts.append(format_table(f"{title} (per-query speedups)", output["scatter"]))
+    if not parts:
+        parts.append(title)
+    return "\n".join(parts)

@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build tooling (e.g. no wheel).
+
+``pip install -e .`` uses pyproject.toml; this file only exists so that
+``python setup.py develop`` works on minimal offline installations.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — a from-scratch reproduction of SkinnerDB (SIGMOD 2019).
+
+SkinnerDB evaluates queries without any a-priori cost or cardinality model:
+it learns near-optimal join orders *during* the execution of the current
+query with the UCT reinforcement-learning algorithm, bounding the regret
+against an optimal join order.  This package implements the complete system
+in Python — the column-store substrate, a SQL subset, the traditional
+optimizer and adaptive baselines the paper compares against, the three
+Skinner execution strategies, the benchmark workloads, and a harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import SkinnerDB
+
+    db = SkinnerDB()
+    db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
+    db.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})
+    result = db.execute("SELECT r.x, s.y FROM r, s WHERE r.id = s.rid")
+    print(result.rows)
+    print(result.metrics.describe())
+"""
+
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.db import ENGINE_NAMES, SkinnerDB
+from repro.errors import (
+    BudgetExceeded,
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+)
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.result import QueryMetrics, QueryResult
+from repro.storage.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExceeded",
+    "CatalogError",
+    "DEFAULT_CONFIG",
+    "ENGINE_NAMES",
+    "ExecutionError",
+    "ParseError",
+    "PlanningError",
+    "Query",
+    "QueryMetrics",
+    "QueryResult",
+    "ReproError",
+    "SchemaError",
+    "SkinnerConfig",
+    "SkinnerDB",
+    "Table",
+    "parse_query",
+    "__version__",
+]

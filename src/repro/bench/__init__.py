@@ -1,0 +1,32 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+* :mod:`~repro.bench.metrics` — per-query records, aggregation into the
+  table rows the paper reports (total/max time, intermediate cardinality,
+  relative overhead, optimizer failures and disasters).
+* :mod:`~repro.bench.harness` — runs a set of engine configurations over a
+  workload, with optional per-query work budgets (timeouts).
+* :mod:`~repro.bench.report` — plain-text rendering of result tables/series.
+* :mod:`~repro.bench.experiments` — one entry point per table and figure of
+  the paper (``table1`` ... ``table7``, ``figure6`` ... ``figure13``).
+"""
+
+from repro.bench.harness import EngineSpec, run_query, run_workload
+from repro.bench.metrics import (
+    QueryRecord,
+    aggregate_records,
+    count_failures_and_disasters,
+    relative_overheads,
+)
+from repro.bench.report import format_series, format_table
+
+__all__ = [
+    "EngineSpec",
+    "QueryRecord",
+    "aggregate_records",
+    "count_failures_and_disasters",
+    "format_series",
+    "format_table",
+    "relative_overheads",
+    "run_query",
+    "run_workload",
+]

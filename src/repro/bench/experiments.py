@@ -1,0 +1,49 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each function builds the workload, runs the relevant engine configurations,
+and returns a dictionary with a ``title``, the ``rows`` or ``series`` the
+paper reports, the raw per-query ``records``, and the ``parameters`` used.
+``benchmarks/`` contains one pytest-benchmark module per entry point, and
+``examples/reproduce_paper.py`` prints any subset of them.
+"""
+
+from repro.bench.experiments_figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+)
+from repro.bench.experiments_tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+#: All experiment entry points by their paper label.
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+}
+
+__all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

@@ -1,0 +1,243 @@
+"""Experiment drivers for the paper's tables (Tables 1-7)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.traditional import TraditionalEngine
+from repro.bench.harness import run_query, run_workload
+from repro.bench.metrics import QueryRecord, aggregate_records, relative_overheads
+from repro.bench.specs import (
+    BENCH_CONFIG,
+    job_multi_threaded_specs,
+    job_single_threaded_specs,
+    skinner_c_spec,
+    skinner_g_spec,
+    skinner_h_spec,
+    traditional_spec,
+)
+from repro.config import SkinnerConfig
+from repro.optimizer.exhaustive import optimal_plan
+from repro.skinner.skinner_c import SkinnerC
+from repro.workloads.job import make_job_workload
+from repro.workloads.tpch import make_tpch_workload
+
+
+def table1(scale: float = 0.6, seed: int = 13) -> dict[str, Any]:
+    """Table 1: join order benchmark, single-threaded.
+
+    Compares Skinner-C, Postgres, MonetDB, and Skinner-G/H on both systems
+    by total/maximum time and total/maximum intermediate-result cardinality.
+    """
+    workload = make_job_workload(scale=scale, seed=seed)
+    records = run_workload(job_single_threaded_specs(), workload)
+    rows = [summary.as_row() for summary in aggregate_records(records)]
+    return {
+        "title": "Table 1: Join order benchmark, single-threaded",
+        "rows": rows,
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed},
+    }
+
+
+def table2(scale: float = 0.6, seed: int = 13, threads: int = 8) -> dict[str, Any]:
+    """Table 2: join order benchmark, multi-threaded."""
+    workload = make_job_workload(scale=scale, seed=seed)
+    records = run_workload(job_multi_threaded_specs(threads), workload)
+    rows = [summary.as_row() for summary in aggregate_records(records)]
+    return {
+        "title": f"Table 2: Join order benchmark, multi-threaded ({threads} threads)",
+        "rows": rows,
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed, "threads": threads},
+    }
+
+
+def _order_quality_records(
+    scale: float,
+    seed: int,
+    threads: int,
+    max_tables_for_optimal: int,
+    query_names: list[str] | None,
+) -> list[QueryRecord]:
+    """Shared driver for Tables 3 and 4: cross-executing join orders."""
+    workload = make_job_workload(scale=scale, seed=seed)
+    queries = workload.queries
+    if query_names is not None:
+        wanted = set(query_names)
+        queries = [q for q in queries if q.name in wanted]
+
+    skinner = SkinnerC(workload.catalog, workload.udfs, BENCH_CONFIG, threads=threads)
+    engines = {
+        "Postgres": TraditionalEngine(workload.catalog, workload.udfs,
+                                      profile="postgres", threads=threads),
+        "MonetDB": TraditionalEngine(workload.catalog, workload.udfs,
+                                     profile="monetdb", threads=threads),
+    }
+    records: list[QueryRecord] = []
+    for workload_query in queries:
+        query = workload_query.query
+        learned = skinner.execute(query)
+        records.append(QueryRecord.from_metrics(
+            "Skinner/Skinner", workload_query.name, learned.metrics))
+        skinner_order = learned.metrics.final_join_order
+        optimal_order = None
+        if query.num_tables <= max_tables_for_optimal:
+            optimal_order = optimal_plan(workload.catalog, query, workload.udfs).order
+        if optimal_order is not None:
+            forced = skinner.execute_with_order(query, optimal_order)
+            records.append(QueryRecord.from_metrics(
+                "Skinner/Optimal", workload_query.name, forced.metrics))
+        for engine_name, engine in engines.items():
+            original = engine.execute(query)
+            records.append(QueryRecord.from_metrics(
+                f"{engine_name}/Original", workload_query.name, original.metrics))
+            if skinner_order is not None:
+                forced = engine.execute(query, forced_order=skinner_order)
+                records.append(QueryRecord.from_metrics(
+                    f"{engine_name}/Skinner", workload_query.name, forced.metrics))
+            if optimal_order is not None:
+                forced = engine.execute(query, forced_order=optimal_order)
+                records.append(QueryRecord.from_metrics(
+                    f"{engine_name}/Optimal", workload_query.name, forced.metrics))
+    return records
+
+
+def _order_quality_rows(records: list[QueryRecord]) -> list[dict[str, Any]]:
+    rows = []
+    for summary in aggregate_records(records):
+        engine, order = summary.engine.split("/", 1)
+        rows.append({
+            "Engine": engine,
+            "Order": order,
+            "Total Time": round(summary.total_time, 1),
+            "Max Time": round(summary.max_time, 1),
+        })
+    return rows
+
+
+def table3(
+    scale: float = 0.5,
+    seed: int = 13,
+    *,
+    max_tables_for_optimal: int = 6,
+    query_names: list[str] | None = None,
+) -> dict[str, Any]:
+    """Table 3: join order quality across execution engines, single-threaded.
+
+    Each engine executes (a) its own optimizer's order, (b) the order Skinner
+    learned, and (c) the C_out-optimal order computed with true cardinalities.
+    """
+    records = _order_quality_records(scale, seed, 1, max_tables_for_optimal, query_names)
+    return {
+        "title": "Table 3: Join orders across engines, single-threaded",
+        "rows": _order_quality_rows(records),
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed},
+    }
+
+
+def table4(
+    scale: float = 0.5,
+    seed: int = 13,
+    threads: int = 8,
+    *,
+    max_tables_for_optimal: int = 6,
+    query_names: list[str] | None = None,
+) -> dict[str, Any]:
+    """Table 4: join order quality across execution engines, multi-threaded."""
+    records = _order_quality_records(scale, seed, threads, max_tables_for_optimal, query_names)
+    records = [r for r in records if r.engine.startswith(("Skinner", "MonetDB"))]
+    return {
+        "title": f"Table 4: Join orders across engines, multi-threaded ({threads} threads)",
+        "rows": _order_quality_rows(records),
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed, "threads": threads},
+    }
+
+
+def table5(scale: float = 0.5, seed: int = 13) -> dict[str, Any]:
+    """Table 5: learned versus randomized join-order selection."""
+    workload = make_job_workload(scale=scale, seed=seed)
+    random_config = BENCH_CONFIG.with_overrides(order_selection="random")
+    specs = [
+        skinner_c_spec("Skinner-C / Original", BENCH_CONFIG),
+        skinner_c_spec("Skinner-C / Random", random_config),
+        skinner_h_spec("S-H(PG) / Original", "postgres", BENCH_CONFIG),
+        skinner_h_spec("S-H(PG) / Random", "postgres", random_config),
+        skinner_h_spec("S-H(MDB) / Original", "monetdb", BENCH_CONFIG),
+        skinner_h_spec("S-H(MDB) / Random", "monetdb", random_config),
+    ]
+    records = run_workload(specs, workload)
+    rows = []
+    for summary in aggregate_records(records):
+        engine, optimizer = summary.engine.split(" / ", 1)
+        rows.append({
+            "Engine": engine,
+            "Optimizer": optimizer,
+            "Time": round(summary.total_time, 1),
+            "Max Time": round(summary.max_time, 1),
+        })
+    return {
+        "title": "Table 5: Reinforcement learning versus randomization",
+        "rows": rows,
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed},
+    }
+
+
+def table6(scale: float = 0.5, seed: int = 13, threads: int = 8) -> dict[str, Any]:
+    """Table 6: impact of SkinnerDB features (indexes, parallelism, learning)."""
+    workload = make_job_workload(scale=scale, seed=seed)
+    configurations: list[tuple[str, SkinnerConfig, int]] = [
+        ("indexes, parallelization, learning", BENCH_CONFIG, threads),
+        ("parallelization, learning", BENCH_CONFIG.with_overrides(use_hash_jump=False), threads),
+        ("learning", BENCH_CONFIG.with_overrides(use_hash_jump=False), 1),
+        ("none", BENCH_CONFIG.with_overrides(use_hash_jump=False, order_selection="random"), 1),
+    ]
+    records: list[QueryRecord] = []
+    for label, config, config_threads in configurations:
+        spec = skinner_c_spec(label, config, threads=config_threads)
+        records.extend(run_workload([spec], workload))
+    rows = [{
+        "Enabled Features": summary.engine,
+        "Total Time": round(summary.total_time, 1),
+        "Max Time": round(summary.max_time, 1),
+    } for summary in aggregate_records(records)]
+    return {
+        "title": "Table 6: Impact of SkinnerDB features",
+        "rows": rows,
+        "records": records,
+        "parameters": {"scale": scale, "seed": seed, "threads": threads},
+    }
+
+
+def table7(scale: float = 0.6, seed: int = 29) -> dict[str, Any]:
+    """Table 7: TPC-H and TPC-H-with-UDFs summary."""
+    specs = [
+        skinner_c_spec("Skinner-C"),
+        traditional_spec("Postgres", "postgres"),
+        skinner_g_spec("S-G(Postgres)", "postgres"),
+        skinner_h_spec("S-H(Postgres)", "postgres"),
+        traditional_spec("MonetDB", "monetdb"),
+    ]
+    rows: list[dict[str, Any]] = []
+    all_records: list[QueryRecord] = []
+    for variant, label in (("standard", "TPC-H"), ("udf", "TPC-UDF")):
+        workload = make_tpch_workload(scale=scale, seed=seed, variant=variant)
+        records = run_workload(specs, workload)
+        all_records.extend(records)
+        overheads = relative_overheads(records)
+        for summary in aggregate_records(records):
+            rows.append({
+                "Scenario": label,
+                "Approach": summary.engine,
+                "Time": round(summary.total_time, 1),
+                "Max. Rel.": round(overheads.get(summary.engine, 1.0), 1),
+            })
+    return {
+        "title": "Table 7: TPC-H variants summary",
+        "rows": rows,
+        "records": all_records,
+        "parameters": {"scale": scale, "seed": seed},
+    }

@@ -1,0 +1,72 @@
+"""Configuration objects for the Skinner execution strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uct.policy import DEFAULT_EXPLORATION_WEIGHT, SKINNER_C_EXPLORATION_WEIGHT
+
+
+@dataclass(frozen=True)
+class SkinnerConfig:
+    """Tuning knobs shared by the Skinner variants.
+
+    The defaults follow the paper's experimental setup (§6.1): Skinner-C uses
+    a time-slice budget of 500 multi-way-join loop iterations and a tiny UCT
+    exploration weight; Skinner-G/H use much larger per-batch budgets and the
+    canonical ``sqrt(2)`` exploration weight.
+
+    Attributes
+    ----------
+    slice_budget:
+        Skinner-C: number of multi-way join loop iterations per time slice
+        (the paper's ``b``).
+    exploration_weight:
+        UCT exploration weight for Skinner-C.
+    reward_function:
+        ``"scaled_deltas"`` (the refined reward summing scaled tuple-index
+        deltas) or ``"leftmost"`` (progress in the left-most table only, the
+        simpler reward analyzed in §5).
+    use_hash_jump:
+        Whether Skinner-C jumps tuple indices via hash lookups for equality
+        join predicates.
+    share_progress:
+        Whether execution state is shared between join orders with a common
+        prefix via the progress tracker.
+    use_offsets:
+        Whether fully processed left-most tuples are excluded for all orders.
+    batches_per_table:
+        Skinner-G: number of batches each table is divided into.
+    base_timeout:
+        Skinner-G/H: work-unit budget of timeout level 0 (the paper's
+        smallest timeout).
+    generic_exploration_weight:
+        UCT exploration weight for Skinner-G/H.
+    order_selection:
+        ``"uct"`` (learned) or ``"random"`` — the latter replaces
+        reinforcement learning by uniform random join-order selection and is
+        the ablation baseline of Table 5.
+    seed:
+        Seed for the pseudo-random choices of the UCT trees.
+    """
+
+    slice_budget: int = 500
+    exploration_weight: float = SKINNER_C_EXPLORATION_WEIGHT
+    reward_function: str = "scaled_deltas"
+    use_hash_jump: bool = True
+    share_progress: bool = True
+    use_offsets: bool = True
+    batches_per_table: int = 10
+    base_timeout: int = 2_000
+    generic_exploration_weight: float = DEFAULT_EXPLORATION_WEIGHT
+    order_selection: str = "uct"
+    seed: int | None = 42
+
+    def with_overrides(self, **kwargs) -> "SkinnerConfig":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = SkinnerConfig()

@@ -1,0 +1,166 @@
+"""The SkinnerDB facade: the public entry point of the library.
+
+A :class:`SkinnerDB` instance owns a catalog of tables and a registry of
+user-defined functions, and executes SQL (or programmatically constructed
+:class:`~repro.query.query.Query` objects) with any of the available engines:
+
+>>> db = SkinnerDB()
+>>> db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
+>>> db.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})
+>>> result = db.execute("SELECT r.x, s.y FROM r, s WHERE r.id = s.rid")
+>>> len(result)
+3
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.baselines.eddy import EddyEngine
+from repro.baselines.reoptimizer import ReOptimizerEngine
+from repro.baselines.traditional import TraditionalEngine
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.errors import ReproError
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryResult
+from repro.skinner.skinner_c import SkinnerC
+from repro.skinner.skinner_g import SkinnerG
+from repro.skinner.skinner_h import SkinnerH
+from repro.storage.catalog import Catalog
+from repro.storage.loader import load_csv
+from repro.storage.table import Table
+
+#: Engines selectable by name in :meth:`SkinnerDB.execute`.
+ENGINE_NAMES = (
+    "skinner-c",
+    "skinner-g",
+    "skinner-h",
+    "traditional",
+    "eddy",
+    "reoptimizer",
+)
+
+
+class SkinnerDB:
+    """A small in-memory database with learned and traditional engines."""
+
+    def __init__(self, config: SkinnerConfig = DEFAULT_CONFIG) -> None:
+        self.catalog = Catalog()
+        self.udfs = UdfRegistry()
+        self.config = config
+        self._statistics: StatisticsCatalog | None = None
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool = False
+    ) -> Table:
+        """Create a table from column name to value-list mapping."""
+        table = Table(name, columns)
+        self.catalog.add_table(table, replace=replace)
+        self._statistics = None
+        return table
+
+    def add_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register an existing :class:`Table`."""
+        self.catalog.add_table(table, replace=replace)
+        self._statistics = None
+
+    def load_csv(self, path: str | Path, table_name: str | None = None) -> Table:
+        """Load a CSV file into a new table."""
+        table = load_csv(path, table_name)
+        self.catalog.add_table(table)
+        self._statistics = None
+        return table
+
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        cost: int = 1,
+        selectivity_hint: float = 0.33,
+        replace: bool = False,
+    ) -> None:
+        """Register a user-defined function callable from SQL."""
+        self.udfs.register(
+            name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
+        )
+
+    # ------------------------------------------------------------------
+    # statistics (used by the traditional baselines only)
+    # ------------------------------------------------------------------
+    def statistics(self, *, refresh: bool = False) -> StatisticsCatalog:
+        """Collect (or return cached) optimizer statistics."""
+        if self._statistics is None or refresh:
+            self._statistics = StatisticsCatalog.collect(self.catalog)
+        return self._statistics
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def parse(self, sql: str) -> Query:
+        """Parse SQL text into a query object."""
+        return parse_query(sql, self.catalog)
+
+    def execute(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int = 1,
+        forced_order: Sequence[str] | None = None,
+    ) -> QueryResult:
+        """Execute a query with the chosen engine.
+
+        Parameters
+        ----------
+        query:
+            SQL text or a :class:`Query`.
+        engine:
+            One of :data:`ENGINE_NAMES`.
+        profile:
+            Engine profile for the traditional engine and for the generic
+            engine underneath Skinner-G/H (``postgres``, ``monetdb``, ...).
+        config:
+            Skinner configuration override.
+        threads:
+            Number of threads modelled when converting work to time.
+        forced_order:
+            Only valid for ``engine="traditional"``: execute this join order
+            instead of the optimizer's choice.
+        """
+        parsed = self.parse(query) if isinstance(query, str) else query
+        config = config or self.config
+        engine = engine.lower()
+        if engine == "skinner-c":
+            return SkinnerC(self.catalog, self.udfs, config, threads=threads).execute(parsed)
+        if engine == "skinner-g":
+            runner = SkinnerG(self.catalog, self.udfs, config,
+                              dbms_profile=profile, threads=threads)
+            return runner.execute(parsed)
+        if engine == "skinner-h":
+            runner = SkinnerH(self.catalog, self.udfs, config, dbms_profile=profile,
+                              statistics=self.statistics(), threads=threads)
+            return runner.execute(parsed)
+        if engine == "traditional":
+            runner = TraditionalEngine(self.catalog, self.udfs, statistics=self.statistics(),
+                                       profile=profile, threads=threads)
+            return runner.execute(parsed, forced_order=forced_order)
+        if engine == "eddy":
+            return EddyEngine(self.catalog, self.udfs, threads=threads).execute(parsed)
+        if engine == "reoptimizer":
+            runner = ReOptimizerEngine(self.catalog, self.udfs,
+                                       statistics=self.statistics(), threads=threads)
+            return runner.execute(parsed)
+        raise ReproError(
+            f"unknown engine {engine!r}; available engines: {', '.join(ENGINE_NAMES)}"
+        )

@@ -1,0 +1,33 @@
+"""Relational execution substrate shared by all engines.
+
+The engines in this repository (the traditional executor used as the
+"existing DBMS" for Skinner-G/H and as a baseline, the Skinner-C multi-way
+join, Eddies, ...) all operate on *row-id relations*: join results are
+vectors of base-table row positions, one per joined alias, and values are
+materialized lazily from the column store.
+
+Costs are not measured in wall-clock time but in **work units** charged to a
+:class:`~repro.engine.meter.CostMeter` (tuples scanned, predicate
+evaluations, hash probes, intermediate tuples).  An
+:class:`~repro.engine.profiles.EngineProfile` converts work units into
+simulated time so that different engines (row store, vectorized column
+store, the Java-style Skinner engine) can be compared the way the paper
+compares Postgres, MonetDB, and SkinnerDB.  See DESIGN.md §1 for the
+substitution rationale.
+"""
+
+from repro.engine.executor import PlanExecutor
+from repro.engine.meter import CostMeter, WorkBreakdown
+from repro.engine.postprocess import post_process
+from repro.engine.profiles import EngineProfile, get_profile
+from repro.engine.relation import RowIdRelation
+
+__all__ = [
+    "CostMeter",
+    "EngineProfile",
+    "PlanExecutor",
+    "RowIdRelation",
+    "WorkBreakdown",
+    "get_profile",
+    "post_process",
+]

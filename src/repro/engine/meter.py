@@ -1,0 +1,167 @@
+"""Work-unit accounting and budget enforcement.
+
+Every engine charges its work to a :class:`CostMeter`.  The meter serves
+three purposes:
+
+* it is the **simulated clock**: benchmarks report weighted work units
+  instead of wall-clock time (see DESIGN.md §1);
+* it enforces **budgets**: Skinner-G aborts a batch when the per-batch
+  timeout elapses, which here means the meter raises
+  :class:`~repro.errors.BudgetExceeded` once the budget is spent;
+* it records the **intermediate-result cardinality** metric the paper uses
+  as an engine-independent measure of join-order quality (Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceeded
+
+
+@dataclass
+class WorkBreakdown:
+    """Immutable snapshot of the counters of a :class:`CostMeter`."""
+
+    tuples_scanned: int = 0
+    predicate_evals: int = 0
+    hash_probes: int = 0
+    intermediate_tuples: int = 0
+    output_tuples: int = 0
+    udf_invocations: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total unweighted work units."""
+        return (
+            self.tuples_scanned
+            + self.predicate_evals
+            + self.hash_probes
+            + self.intermediate_tuples
+            + self.output_tuples
+            + self.udf_invocations
+        )
+
+
+@dataclass
+class CostMeter:
+    """Mutable work-unit accumulator with optional budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum total work units.  ``None`` means unlimited.  When the budget
+        is exceeded, the charging call raises :class:`BudgetExceeded`; the
+        charge that triggered the overflow is still recorded so callers can
+        observe how much work was wasted.
+    """
+
+    budget: int | None = None
+    tuples_scanned: int = 0
+    predicate_evals: int = 0
+    hash_probes: int = 0
+    intermediate_tuples: int = 0
+    output_tuples: int = 0
+    udf_invocations: int = 0
+    _checkpoints: list[int] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def charge(self, kind: str, amount: int = 1) -> None:
+        """Charge ``amount`` work units of the given ``kind``."""
+        if amount < 0:
+            raise ValueError("cannot charge negative work")
+        current = getattr(self, kind)
+        setattr(self, kind, current + amount)
+        if self.budget is not None and self.total > self.budget:
+            raise BudgetExceeded(spent=self.total)
+
+    def charge_scan(self, amount: int = 1) -> None:
+        """Charge scanning ``amount`` base-table tuples."""
+        self.charge("tuples_scanned", amount)
+
+    def charge_predicate(self, amount: int = 1) -> None:
+        """Charge ``amount`` predicate evaluations."""
+        self.charge("predicate_evals", amount)
+
+    def charge_probe(self, amount: int = 1) -> None:
+        """Charge ``amount`` hash-table probes."""
+        self.charge("hash_probes", amount)
+
+    def charge_intermediate(self, amount: int = 1) -> None:
+        """Charge materializing ``amount`` intermediate result tuples."""
+        self.charge("intermediate_tuples", amount)
+
+    def charge_output(self, amount: int = 1) -> None:
+        """Charge producing ``amount`` final result tuples."""
+        self.charge("output_tuples", amount)
+
+    def charge_udf(self, amount: int = 1) -> None:
+        """Charge ``amount`` user-defined-function invocations."""
+        self.charge("udf_invocations", amount)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total unweighted work units charged so far."""
+        return (
+            self.tuples_scanned
+            + self.predicate_evals
+            + self.hash_probes
+            + self.intermediate_tuples
+            + self.output_tuples
+            + self.udf_invocations
+        )
+
+    @property
+    def remaining(self) -> int | None:
+        """Remaining budget, or ``None`` if unlimited."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.total)
+
+    def snapshot(self) -> WorkBreakdown:
+        """Return an immutable copy of the counters."""
+        return WorkBreakdown(
+            tuples_scanned=self.tuples_scanned,
+            predicate_evals=self.predicate_evals,
+            hash_probes=self.hash_probes,
+            intermediate_tuples=self.intermediate_tuples,
+            output_tuples=self.output_tuples,
+            udf_invocations=self.udf_invocations,
+        )
+
+    def merge(self, other: "CostMeter | WorkBreakdown") -> None:
+        """Add another meter's counters into this one (budget unchecked)."""
+        self.tuples_scanned += other.tuples_scanned
+        self.predicate_evals += other.predicate_evals
+        self.hash_probes += other.hash_probes
+        self.intermediate_tuples += other.intermediate_tuples
+        self.output_tuples += other.output_tuples
+        self.udf_invocations += other.udf_invocations
+
+    # ------------------------------------------------------------------
+    # checkpointing (used by time-sliced execution)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Record the current total and return it."""
+        self._checkpoints.append(self.total)
+        return self.total
+
+    def since_checkpoint(self) -> int:
+        """Work done since the last checkpoint (or since creation)."""
+        base = self._checkpoints[-1] if self._checkpoints else 0
+        return self.total - base
+
+    def reset(self) -> None:
+        """Zero all counters and checkpoints (budget is preserved)."""
+        self.tuples_scanned = 0
+        self.predicate_evals = 0
+        self.hash_probes = 0
+        self.intermediate_tuples = 0
+        self.output_tuples = 0
+        self.udf_invocations = 0
+        self._checkpoints.clear()

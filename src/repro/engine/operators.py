@@ -1,0 +1,210 @@
+"""Physical operators over row-id relations.
+
+Three operators are enough for the left-deep plans used throughout the
+repository:
+
+* :func:`filter_table` — apply a table's unary predicates, producing the row
+  positions that survive (pre-processing in the paper's terminology).
+* :func:`hash_join_step` — extend an intermediate result by one table via a
+  hash join on the applicable equality predicates, with residual predicates
+  evaluated tuple-at-a-time.
+* :func:`nested_loop_step` — the fallback when no equality predicate links
+  the new table to the current prefix (Cartesian product or generic/UDF-only
+  join predicates).
+
+All operators charge their work to a :class:`~repro.engine.meter.CostMeter`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.engine.meter import CostMeter
+from repro.engine.relation import RowIdRelation
+from repro.query.predicates import Predicate
+from repro.query.udf import UdfRegistry
+from repro.storage.table import Table
+
+
+def filter_table(
+    table: Table,
+    alias: str,
+    predicates: Sequence[Predicate],
+    meter: CostMeter,
+    udfs: UdfRegistry | None = None,
+) -> np.ndarray:
+    """Apply unary predicates to a base table and return surviving positions."""
+    meter.charge_scan(table.num_rows)
+    positions = np.arange(table.num_rows, dtype=np.int64)
+    for predicate in predicates:
+        if positions.shape[0] == 0:
+            break
+        mask = _unary_mask(table, alias, predicate, positions, meter, udfs)
+        positions = positions[mask]
+    return positions
+
+
+def _unary_mask(
+    table: Table,
+    alias: str,
+    predicate: Predicate,
+    positions: np.ndarray,
+    meter: CostMeter,
+    udfs: UdfRegistry | None,
+) -> np.ndarray:
+    """Boolean mask over ``positions`` for one unary predicate."""
+    from repro.query.expressions import ColumnRef, Literal
+
+    meter.charge_predicate(positions.shape[0])
+    if predicate.uses_udf:
+        meter.charge_udf(positions.shape[0] * max(1, predicate.udf_cost(udfs) - 1))
+    # Fast path: column <op> literal without UDFs.
+    if (
+        predicate.op is not None
+        and isinstance(predicate.left, ColumnRef)
+        and isinstance(predicate.right, Literal)
+        and not predicate.uses_udf
+    ):
+        column = table.column(predicate.left.column)
+        full_mask = column.compare(predicate.op, predicate.right.value)
+        return full_mask[positions]
+    # Generic path: evaluate tuple at a time.
+    mask = np.zeros(positions.shape[0], dtype=bool)
+    for i, position in enumerate(positions):
+        binding = {alias: table.row(int(position))}
+        mask[i] = predicate.evaluate(binding, udfs)
+    return mask
+
+
+def hash_join_step(
+    prefix: RowIdRelation,
+    alias: str,
+    table: Table,
+    positions: np.ndarray,
+    equi_predicates: Sequence[Predicate],
+    residual_predicates: Sequence[Predicate],
+    tables: Mapping[str, Table],
+    meter: CostMeter,
+    udfs: UdfRegistry | None = None,
+) -> RowIdRelation:
+    """Extend ``prefix`` by ``alias`` using a hash join.
+
+    ``equi_predicates`` must each connect ``alias`` to some alias already in
+    the prefix via column equality.  ``residual_predicates`` are evaluated on
+    each candidate combination.
+    """
+    build_keys = _composite_keys_for_new(table, positions, alias, equi_predicates)
+    meter.charge_probe(positions.shape[0])
+    buckets: dict[Any, list[int]] = {}
+    for row, key in enumerate(build_keys):
+        buckets.setdefault(key, []).append(row)
+
+    probe_keys = _composite_keys_for_prefix(prefix, tables, alias, equi_predicates)
+    selector: list[int] = []
+    new_positions: list[int] = []
+    meter.charge_probe(len(prefix))
+    for prefix_row, key in enumerate(probe_keys):
+        matches = buckets.get(key, ())
+        if matches:
+            # Charge before materializing so a work budget cuts off an
+            # exploding join as soon as the budget is reached.
+            meter.charge_intermediate(len(matches))
+        for build_row in matches:
+            selector.append(prefix_row)
+            new_positions.append(int(positions[build_row]))
+    candidate = prefix.extend(alias, np.asarray(new_positions, dtype=np.int64),
+                              np.asarray(selector, dtype=np.int64))
+    return _apply_residual(candidate, residual_predicates, tables, meter, udfs)
+
+
+def nested_loop_step(
+    prefix: RowIdRelation,
+    alias: str,
+    table: Table,
+    positions: np.ndarray,
+    predicates: Sequence[Predicate],
+    tables: Mapping[str, Table],
+    meter: CostMeter,
+    udfs: UdfRegistry | None = None,
+) -> RowIdRelation:
+    """Extend ``prefix`` by ``alias`` via a (predicate-filtered) cross product."""
+    n_prefix = len(prefix)
+    n_new = positions.shape[0]
+    if n_prefix == 0 or n_new == 0:
+        aliases = prefix.aliases + [alias]
+        return RowIdRelation.empty(aliases)
+    # Charge before materializing so a work budget cuts off an exploding
+    # Cartesian product before it is allocated.
+    meter.charge_intermediate(n_prefix * n_new)
+    selector = np.repeat(np.arange(n_prefix, dtype=np.int64), n_new)
+    new_positions = np.tile(positions, n_prefix)
+    candidate = prefix.extend(alias, new_positions, selector)
+    return _apply_residual(candidate, predicates, tables, meter, udfs)
+
+
+def _apply_residual(
+    candidate: RowIdRelation,
+    predicates: Sequence[Predicate],
+    tables: Mapping[str, Table],
+    meter: CostMeter,
+    udfs: UdfRegistry | None,
+) -> RowIdRelation:
+    """Filter a candidate relation by tuple-at-a-time predicates."""
+    if not predicates or len(candidate) == 0:
+        return candidate
+    keep = np.zeros(len(candidate), dtype=bool)
+    for row in range(len(candidate)):
+        binding = candidate.binding(row, tables)
+        ok = True
+        for predicate in predicates:
+            meter.charge_predicate(1)
+            if predicate.uses_udf:
+                meter.charge_udf(max(1, predicate.udf_cost(udfs) - 1))
+            if not predicate.evaluate(binding, udfs):
+                ok = False
+                break
+        keep[row] = ok
+    return candidate.take(np.flatnonzero(keep))
+
+
+# ----------------------------------------------------------------------
+# key extraction for hash joins
+# ----------------------------------------------------------------------
+def _composite_keys_for_new(
+    table: Table,
+    positions: np.ndarray,
+    alias: str,
+    equi_predicates: Sequence[Predicate],
+) -> list[tuple[Any, ...]]:
+    """Hash keys (one per position) on the build side of the join."""
+    columns = []
+    for predicate in equi_predicates:
+        left, right = predicate.equi_join_columns()
+        ref = left if left.table == alias else right
+        columns.append(table.column(ref.column))
+    keys: list[tuple[Any, ...]] = []
+    for position in positions:
+        keys.append(tuple(column.value(int(position)) for column in columns))
+    return keys
+
+
+def _composite_keys_for_prefix(
+    prefix: RowIdRelation,
+    tables: Mapping[str, Table],
+    new_alias: str,
+    equi_predicates: Sequence[Predicate],
+) -> list[tuple[Any, ...]]:
+    """Hash keys (one per prefix row) on the probe side of the join."""
+    sources = []
+    for predicate in equi_predicates:
+        left, right = predicate.equi_join_columns()
+        ref = right if left.table == new_alias else left
+        sources.append((ref.table, tables[ref.table].column(ref.column)))
+    keys: list[tuple[Any, ...]] = []
+    for row in range(len(prefix)):
+        key = tuple(column.value(int(prefix.ids(alias_)[row])) for alias_, column in sources)
+        keys.append(key)
+    return keys

@@ -1,0 +1,113 @@
+"""Row-id relations: join results as vectors of base-table row positions.
+
+A join result over aliases ``(a, b, c)`` is stored as three equally long
+integer arrays: row ``i`` of the result is the combination of base-table
+rows ``ids['a'][i]``, ``ids['b'][i]``, ``ids['c'][i]``.  This mirrors the
+paper's concise tuple representation (§4.5): tuples are described by arrays
+of tuple indices and materialized only on demand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.storage.table import Table
+
+
+class RowIdRelation:
+    """A (possibly intermediate) join result in row-id representation."""
+
+    def __init__(self, ids: Mapping[str, np.ndarray]) -> None:
+        self._ids: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for alias, positions in ids.items():
+            positions = np.asarray(positions, dtype=np.int64)
+            if length is None:
+                length = positions.shape[0]
+            elif positions.shape[0] != length:
+                raise ExecutionError("row-id vectors must have equal length")
+            self._ids[alias] = positions
+        self._length = length or 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_base(cls, alias: str, positions: np.ndarray | Sequence[int]) -> "RowIdRelation":
+        """A relation over a single base table."""
+        return cls({alias: np.asarray(positions, dtype=np.int64)})
+
+    @classmethod
+    def empty(cls, aliases: Sequence[str]) -> "RowIdRelation":
+        """An empty relation over the given aliases."""
+        return cls({alias: np.empty(0, dtype=np.int64) for alias in aliases})
+
+    @classmethod
+    def from_index_tuples(
+        cls, aliases: Sequence[str], tuples: Sequence[Sequence[int]]
+    ) -> "RowIdRelation":
+        """Build from a list of index tuples ordered like ``aliases``."""
+        if not tuples:
+            return cls.empty(aliases)
+        matrix = np.asarray(tuples, dtype=np.int64)
+        return cls({alias: matrix[:, i] for i, alias in enumerate(aliases)})
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> list[str]:
+        """Aliases covered by this relation."""
+        return list(self._ids)
+
+    def ids(self, alias: str) -> np.ndarray:
+        """Row positions for one alias."""
+        try:
+            return self._ids[alias]
+        except KeyError as exc:
+            raise ExecutionError(f"relation does not cover alias {alias!r}") from exc
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"RowIdRelation(aliases={self.aliases}, rows={self._length})"
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def take(self, selector: np.ndarray) -> "RowIdRelation":
+        """Return a new relation restricted to the selected result rows."""
+        return RowIdRelation({alias: positions[selector] for alias, positions in self._ids.items()})
+
+    def extend(self, alias: str, positions: np.ndarray, selector: np.ndarray) -> "RowIdRelation":
+        """Join in a new alias.
+
+        ``selector`` picks, for each output row, which existing result row it
+        derives from; ``positions`` gives the new alias's base-table row for
+        each output row.
+        """
+        ids = {existing: values[selector] for existing, values in self._ids.items()}
+        ids[alias] = np.asarray(positions, dtype=np.int64)
+        return RowIdRelation(ids)
+
+    def index_tuples(self, aliases: Sequence[str] | None = None) -> list[tuple[int, ...]]:
+        """Return the result as a list of index tuples ordered by ``aliases``."""
+        order = list(aliases) if aliases is not None else self.aliases
+        columns = [self._ids[alias] for alias in order]
+        return [tuple(int(column[row]) for column in columns) for row in range(self._length)]
+
+    # ------------------------------------------------------------------
+    # materialization helpers
+    # ------------------------------------------------------------------
+    def binding(self, row: int, tables: Mapping[str, Table]) -> dict[str, dict[str, Any]]:
+        """Materialize result row ``row`` as ``alias -> {column: value}``."""
+        bound: dict[str, dict[str, Any]] = {}
+        for alias, positions in self._ids.items():
+            table = tables[alias]
+            bound[alias] = table.row(int(positions[row]))
+        return bound

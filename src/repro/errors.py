@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro (SkinnerDB reproduction) package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses are raised close to the place
+where the problem is detected and carry a human-readable message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """A table, column, or UDF was not found or is defined twice."""
+
+
+class SchemaError(ReproError):
+    """A table schema is inconsistent (e.g. columns of different length)."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the SQL string at which the error was detected,
+        or ``None`` if unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """A query plan could not be constructed (e.g. empty join order)."""
+
+
+class ExecutionError(ReproError):
+    """Query execution failed for a reason other than exceeding a budget."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised internally when a work-unit budget is exhausted.
+
+    Budgeted executors use this to abandon a partially processed batch, in
+    the same way Skinner-G aborts the underlying DBMS call when the timeout
+    per batch elapses.
+    """
+
+    def __init__(self, message: str = "work budget exceeded", spent: int = 0) -> None:
+        super().__init__(message)
+        self.spent = spent
+
+
+class UnsupportedQueryError(ReproError):
+    """The query uses a feature the chosen engine does not support."""

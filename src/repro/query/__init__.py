@@ -1,0 +1,39 @@
+"""Query representation: expressions, predicates, join graphs, SQL parsing.
+
+The SkinnerDB strategies operate on select-project-join (SPJ) queries with
+optional aggregation, grouping, and ordering handled in a post-processing
+step (paper §4).  This package defines:
+
+* :mod:`~repro.query.expressions` — column references, literals, and
+  (user-defined) function calls.
+* :mod:`~repro.query.predicates` — conjunct predicates classified as unary,
+  equality-join, or generic (e.g. UDF) join predicates.
+* :mod:`~repro.query.query` — the :class:`Query` object with select list,
+  grouping, ordering, and limit.
+* :mod:`~repro.query.join_graph` — connectivity between query tables, used to
+  avoid Cartesian products while enumerating join orders.
+* :mod:`~repro.query.parser` — a SQL-subset parser producing :class:`Query`.
+* :mod:`~repro.query.udf` — the registry of user-defined predicate functions.
+"""
+
+from repro.query.expressions import ColumnRef, Expression, FunctionCall, Literal
+from repro.query.join_graph import JoinGraph
+from repro.query.parser import parse_query
+from repro.query.predicates import Predicate
+from repro.query.query import AggregateSpec, OrderItem, Query, SelectItem
+from repro.query.udf import UdfRegistry
+
+__all__ = [
+    "AggregateSpec",
+    "ColumnRef",
+    "Expression",
+    "FunctionCall",
+    "JoinGraph",
+    "Literal",
+    "OrderItem",
+    "Predicate",
+    "Query",
+    "SelectItem",
+    "UdfRegistry",
+    "parse_query",
+]

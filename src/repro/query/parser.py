@@ -1,0 +1,370 @@
+"""A recursive-descent parser for the SQL subset used by the benchmarks.
+
+Supported grammar (case-insensitive keywords)::
+
+    query     := SELECT [DISTINCT] select_list FROM from_list
+                 [WHERE conjunction] [GROUP BY expr_list]
+                 [ORDER BY order_list] [LIMIT number]
+    select_list := '*' | item (',' item)*
+    item      := AGG '(' (expr | '*') ')' [AS ident] | expr [AS ident]
+    from_list := table (',' table)* ;  table := ident [[AS] ident]
+    conjunction := predicate (AND predicate)*
+    predicate := expr compare expr | expr BETWEEN literal AND literal | expr
+    expr      := ident '(' expr (',' expr)* ')' | ident '.' ident | ident
+               | number | string
+
+``BETWEEN`` is rewritten into two comparison conjuncts.  Unqualified column
+names are resolved against the FROM clause when a catalog is supplied (or
+when only one table is referenced).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParseError
+from repro.query.expressions import ColumnRef, Expression, FunctionCall, Literal, Star
+from repro.query.predicates import Predicate
+from repro.query.query import (
+    AGGREGATE_FUNCTIONS,
+    AggregateSpec,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "group",
+    "order",
+    "by",
+    "limit",
+    "as",
+    "asc",
+    "desc",
+    "between",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise ParseError(f"unexpected character {sql[position]!r}", position)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, text, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, sql: str, catalog: Any = None) -> None:
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._index = 0
+        self._catalog = catalog
+        self._tables: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self._sql))
+        self._index += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.lowered in keywords:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            found = token.text if token else "end of query"
+            raise ParseError(f"expected {keyword.upper()}, found {found!r}",
+                             token.position if token else len(self._sql))
+
+    def _accept_punct(self, symbol: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == symbol:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_punct(self, symbol: str) -> None:
+        if not self._accept_punct(symbol):
+            token = self._peek()
+            found = token.text if token else "end of query"
+            raise ParseError(f"expected {symbol!r}, found {found!r}",
+                             token.position if token else len(self._sql))
+
+    def _expect_ident(self) -> _Token:
+        token = self._next()
+        if token.kind != "ident" or token.lowered in _KEYWORDS:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.position)
+        return token
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        select_tokens_start = self._index
+        # FROM must be parsed before the select list so unqualified columns
+        # can be resolved; remember the select token range and revisit it.
+        self._skip_until_keyword("from")
+        self._expect_keyword("from")
+        self._tables = self._parse_from_list()
+        end_of_from = self._index
+
+        self._index = select_tokens_start
+        select_items = self._parse_select_list()
+        self._index = end_of_from
+
+        predicates: list[Predicate] = []
+        if self._accept_keyword("where"):
+            predicates = self._parse_conjunction()
+        group_by: list[Expression] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._parse_expression_list()
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._parse_order_list()
+        limit: int | None = None
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.kind != "number":
+                raise ParseError(f"LIMIT expects a number, found {token.text!r}", token.position)
+            limit = int(float(token.text))
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(f"unexpected trailing token {trailing.text!r}", trailing.position)
+        return Query(
+            tables=tuple(self._tables),
+            predicates=tuple(predicates),
+            select_items=tuple(select_items),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _skip_until_keyword(self, keyword: str) -> None:
+        depth = 0
+        index = self._index
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token.kind == "punct" and token.text == "(":
+                depth += 1
+            elif token.kind == "punct" and token.text == ")":
+                depth -= 1
+            elif depth == 0 and token.kind == "ident" and token.lowered == keyword:
+                self._index = index
+                return
+            index += 1
+        raise ParseError(f"missing {keyword.upper()} clause", len(self._sql))
+
+    def _parse_from_list(self) -> list[tuple[str, str]]:
+        tables: list[tuple[str, str]] = []
+        while True:
+            name = self._expect_ident().text
+            alias = name
+            token = self._peek()
+            if self._accept_keyword("as"):
+                alias = self._expect_ident().text
+            elif token is not None and token.kind == "ident" and token.lowered not in _KEYWORDS:
+                alias = self._next().text
+            tables.append((alias, name))
+            if not self._accept_punct(","):
+                break
+        return tables
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        if self._accept_punct("*"):
+            return []
+        items: list[SelectItem] = []
+        while True:
+            items.append(self._parse_select_item())
+            if not self._accept_punct(","):
+                break
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "ident"
+            and token.lowered in AGGREGATE_FUNCTIONS
+            and self._lookahead_is_punct(1, "(")
+        ):
+            function = self._next().lowered
+            self._expect_punct("(")
+            if self._accept_punct("*"):
+                argument: Expression = Star()
+            else:
+                argument = self._parse_expression()
+            self._expect_punct(")")
+            alias = self._parse_optional_alias()
+            return SelectItem(aggregate=AggregateSpec(function, argument), alias=alias)
+        expression = self._parse_expression()
+        alias = self._parse_optional_alias()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self._accept_keyword("as"):
+            return self._expect_ident().text
+        return None
+
+    def _lookahead_is_punct(self, offset: int, symbol: str) -> bool:
+        index = self._index + offset
+        if index < len(self._tokens):
+            token = self._tokens[index]
+            return token.kind == "punct" and token.text == symbol
+        return False
+
+    def _parse_conjunction(self) -> list[Predicate]:
+        predicates = self._parse_predicate()
+        while self._accept_keyword("and"):
+            predicates.extend(self._parse_predicate())
+        return predicates
+
+    def _parse_predicate(self) -> list[Predicate]:
+        left = self._parse_expression()
+        if self._accept_keyword("between"):
+            low = self._parse_expression()
+            self._expect_keyword("and")
+            high = self._parse_expression()
+            return [Predicate(left, ">=", low), Predicate(left, "<=", high)]
+        token = self._peek()
+        if token is not None and token.kind == "op":
+            op = self._next().text
+            op = "!=" if op == "<>" else op
+            right = self._parse_expression()
+            return [Predicate(left, op, right)]
+        return [Predicate(left)]
+
+    def _parse_expression_list(self) -> list[Expression]:
+        expressions = [self._parse_expression()]
+        while self._accept_punct(","):
+            expressions.append(self._parse_expression())
+        return expressions
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items: list[OrderItem] = []
+        while True:
+            expression = self._parse_expression()
+            ascending = True
+            if self._accept_keyword("desc"):
+                ascending = False
+            else:
+                self._accept_keyword("asc")
+            items.append(OrderItem(expression, ascending))
+            if not self._accept_punct(","):
+                break
+        return items
+
+    def _parse_expression(self) -> Expression:
+        token = self._next()
+        if token.kind == "number":
+            value: Any = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            return Literal(token.text[1:-1].replace("''", "'"))
+        if token.kind == "ident":
+            if token.lowered in _KEYWORDS:
+                raise ParseError(f"unexpected keyword {token.text!r}", token.position)
+            if self._accept_punct("("):
+                args: list[Expression] = []
+                if not self._accept_punct(")"):
+                    args.append(self._parse_expression())
+                    while self._accept_punct(","):
+                        args.append(self._parse_expression())
+                    self._expect_punct(")")
+                return FunctionCall(token.lowered, tuple(args))
+            if self._accept_punct("."):
+                column = self._expect_ident().text
+                return ColumnRef(token.text, column)
+            return self._resolve_column(token)
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+    def _resolve_column(self, token: _Token) -> ColumnRef:
+        column = token.text
+        if len(self._tables) == 1:
+            return ColumnRef(self._tables[0][0], column)
+        if self._catalog is not None:
+            owners = [
+                alias
+                for alias, table_name in self._tables
+                if self._catalog.has_table(table_name)
+                and self._catalog.table(table_name).has_column(column)
+            ]
+            if len(owners) == 1:
+                return ColumnRef(owners[0], column)
+            if len(owners) > 1:
+                raise ParseError(f"ambiguous column {column!r}", token.position)
+        raise ParseError(
+            f"cannot resolve unqualified column {column!r}; qualify it as alias.{column}",
+            token.position,
+        )
+
+
+def parse_query(sql: str, catalog: Any = None) -> Query:
+    """Parse SQL text into a :class:`~repro.query.query.Query`.
+
+    Parameters
+    ----------
+    sql:
+        The query text.
+    catalog:
+        Optional :class:`~repro.storage.catalog.Catalog` used to resolve
+        unqualified column names when several tables are joined.
+    """
+    return _Parser(sql, catalog).parse()

@@ -1,0 +1,244 @@
+"""The query object: SPJ core plus aggregation / grouping / ordering.
+
+A :class:`Query` is what every engine in the repository consumes.  The join
+phase only looks at ``tables`` and ``predicates``; the select list, grouping,
+ordering, and limit are applied by the post-processor after the join result
+(a set of tuple-index vectors) is complete, exactly as described in paper §3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import PlanningError
+from repro.query.expressions import ColumnRef, Expression
+from repro.query.join_graph import JoinGraph
+from repro.query.predicates import Predicate
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate over an expression, e.g. ``SUM(l.price)``."""
+
+    function: str
+    argument: Expression
+
+    def __post_init__(self) -> None:
+        if self.function.lower() not in AGGREGATE_FUNCTIONS:
+            raise PlanningError(f"unknown aggregate function {self.function!r}")
+
+    def display(self) -> str:
+        """SQL-ish rendering."""
+        return f"{self.function.upper()}({self.argument.display()})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list: a plain expression or an aggregate."""
+
+    expression: Expression | None = None
+    aggregate: AggregateSpec | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.expression is None) == (self.aggregate is None):
+            raise PlanningError("select item must be exactly one of expression or aggregate")
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this item is an aggregate."""
+        return self.aggregate is not None
+
+    def output_name(self, position: int) -> str:
+        """Column name of this item in the result table."""
+        if self.alias:
+            return self.alias
+        if self.aggregate is not None:
+            return self.aggregate.display().lower().replace(".", "_")
+        assert self.expression is not None
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.column
+        return f"col_{position}"
+
+    def display(self) -> str:
+        """SQL-ish rendering."""
+        body = self.aggregate.display() if self.aggregate else self.expression.display()
+        return f"{body} AS {self.alias}" if self.alias else body
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item."""
+
+    expression: Expression
+    ascending: bool = True
+
+    def display(self) -> str:
+        """SQL-ish rendering."""
+        return f"{self.expression.display()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join query with optional post-processing steps.
+
+    Attributes
+    ----------
+    tables:
+        Ordered mapping from alias to base table name, given as a tuple of
+        ``(alias, table_name)`` pairs.  The alias is what predicates and the
+        select list refer to; the same base table may appear several times
+        under different aliases (self joins).
+    predicates:
+        Conjunctive WHERE clause.
+    select_items:
+        Output expressions / aggregates.  Empty means ``SELECT *`` over all
+        columns of all tables.
+    group_by:
+        Grouping expressions.
+    order_by:
+        Ordering specification applied after grouping/aggregation.
+    limit:
+        Optional row limit applied last.
+    distinct:
+        Whether duplicate output rows are removed.
+    """
+
+    tables: tuple[tuple[str, str], ...]
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+    select_items: tuple[SelectItem, ...] = field(default_factory=tuple)
+    group_by: tuple[Expression, ...] = field(default_factory=tuple)
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise PlanningError("query must reference at least one table")
+        aliases = [alias for alias, _ in self.tables]
+        if len(set(aliases)) != len(aliases):
+            raise PlanningError(f"duplicate table aliases in {aliases}")
+        known = set(aliases)
+        for predicate in self.predicates:
+            unknown = predicate.tables() - known
+            if unknown:
+                raise PlanningError(
+                    f"predicate {predicate.display()} references unknown aliases {sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> list[str]:
+        """Table aliases in declaration order."""
+        return [alias for alias, _ in self.tables]
+
+    @property
+    def num_tables(self) -> int:
+        """Number of joined tables."""
+        return len(self.tables)
+
+    def base_table(self, alias: str) -> str:
+        """Base table name for an alias."""
+        for a, name in self.tables:
+            if a == alias:
+                return name
+        raise PlanningError(f"unknown alias {alias!r}")
+
+    def unary_predicates(self, alias: str | None = None) -> list[Predicate]:
+        """Unary predicates, optionally restricted to one alias."""
+        result = [p for p in self.predicates if p.is_unary]
+        if alias is not None:
+            result = [p for p in result if alias in p.tables()]
+        return result
+
+    def join_predicates(self) -> list[Predicate]:
+        """All predicates referencing two or more tables."""
+        return [p for p in self.predicates if p.is_join]
+
+    def equi_join_predicates(self) -> list[Predicate]:
+        """Join predicates of the form ``a.x = b.y``."""
+        return [p for p in self.predicates if p.is_equi_join]
+
+    def has_udf_predicates(self) -> bool:
+        """Whether any predicate involves a registered UDF."""
+        return any(p.uses_udf for p in self.predicates)
+
+    def join_graph(self) -> JoinGraph:
+        """Build the join graph over this query's aliases."""
+        return JoinGraph(self.aliases, self.join_predicates())
+
+    # ------------------------------------------------------------------
+    # post-processing structure
+    # ------------------------------------------------------------------
+    @property
+    def has_aggregates(self) -> bool:
+        """Whether the select list contains aggregates."""
+        return any(item.is_aggregate for item in self.select_items)
+
+    @property
+    def has_post_processing(self) -> bool:
+        """Whether grouping, aggregation, ordering, or a limit applies."""
+        return bool(self.group_by or self.order_by or self.has_aggregates or self.limit)
+
+    def output_columns(self) -> list[ColumnRef]:
+        """Column references needed to materialize the select list."""
+        refs: list[ColumnRef] = []
+        for item in self.select_items:
+            source = item.aggregate.argument if item.aggregate else item.expression
+            assert source is not None
+            refs.extend(source.columns())
+        for expression in self.group_by:
+            refs.extend(expression.columns())
+        for order in self.order_by:
+            refs.extend(order.expression.columns())
+        return refs
+
+    def display(self) -> str:
+        """Compact SQL-ish rendering of the query (used in reports)."""
+        select = ", ".join(item.display() for item in self.select_items) or "*"
+        tables = ", ".join(f"{name} {alias}" if name != alias else name for alias, name in self.tables)
+        parts = [f"SELECT {'DISTINCT ' if self.distinct else ''}{select}", f"FROM {tables}"]
+        if self.predicates:
+            parts.append("WHERE " + " AND ".join(p.display() for p in self.predicates))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.display() for e in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.display() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.display()
+
+
+def make_query(
+    tables: Sequence[tuple[str, str]] | Sequence[str],
+    predicates: Iterable[Predicate] = (),
+    select_items: Iterable[SelectItem] = (),
+    group_by: Iterable[Expression] = (),
+    order_by: Iterable[OrderItem] = (),
+    limit: int | None = None,
+    distinct: bool = False,
+) -> Query:
+    """Convenience constructor accepting bare table names as aliases."""
+    normalized: list[tuple[str, str]] = []
+    for entry in tables:
+        if isinstance(entry, str):
+            normalized.append((entry, entry))
+        else:
+            normalized.append((entry[0], entry[1]))
+    return Query(
+        tables=tuple(normalized),
+        predicates=tuple(predicates),
+        select_items=tuple(select_items),
+        group_by=tuple(group_by),
+        order_by=tuple(order_by),
+        limit=limit,
+        distinct=distinct,
+    )

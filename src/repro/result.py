@@ -1,0 +1,87 @@
+"""Query results and execution metrics shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.meter import WorkBreakdown
+from repro.engine.profiles import EngineProfile
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryMetrics:
+    """What an engine reports about one query execution.
+
+    Attributes
+    ----------
+    engine:
+        Engine name (``skinner-c``, ``traditional(postgres)``, ...).
+    work:
+        Work-unit breakdown charged during execution (join phase plus
+        pre/post-processing).
+    simulated_time:
+        Weighted work under the engine's profile (abstract milliseconds) —
+        the repository's substitute for wall-clock time, see DESIGN.md §1.
+    wall_time_seconds:
+        Actual Python wall-clock time, recorded for reference only.
+    intermediate_cardinality:
+        Total intermediate-result tuples produced by the executed plan(s);
+        the engine-independent join-order-quality metric of Tables 1 and 2.
+    result_rows:
+        Number of rows in the final result.
+    final_join_order:
+        For learning engines, the join order considered best at the end.
+    time_slices:
+        Number of time slices / iterations executed (learning engines).
+    uct_nodes, tracker_nodes, result_tuple_count:
+        Memory-related counters used by Figure 8.
+    extra:
+        Engine-specific details (timeout levels used, re-optimization count,
+        ablation flags, ...).
+    """
+
+    engine: str
+    work: WorkBreakdown = field(default_factory=WorkBreakdown)
+    simulated_time: float = 0.0
+    wall_time_seconds: float = 0.0
+    intermediate_cardinality: int = 0
+    result_rows: int = 0
+    final_join_order: tuple[str, ...] | None = None
+    time_slices: int = 0
+    uct_nodes: int = 0
+    tracker_nodes: int = 0
+    result_tuple_count: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        order = " ".join(self.final_join_order) if self.final_join_order else "-"
+        return (
+            f"{self.engine}: time={self.simulated_time:.1f} "
+            f"card={self.intermediate_cardinality} rows={self.result_rows} order=[{order}]"
+        )
+
+
+@dataclass
+class QueryResult:
+    """A result table together with the metrics of producing it."""
+
+    table: Table
+    metrics: QueryMetrics
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """Result rows as dictionaries (decoded values)."""
+        return self.table.rows()
+
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+
+def simulate_time(
+    profile: EngineProfile, work: WorkBreakdown, *, threads: int = 1
+) -> float:
+    """Convenience wrapper converting work units to simulated time."""
+    return profile.simulated_time(work, threads=threads)

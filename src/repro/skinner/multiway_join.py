@@ -1,0 +1,236 @@
+"""The depth-first multi-way join with fast join-order switching (Algorithm 2).
+
+The join keeps at most one partial tuple at any time: a vector of tuple
+indices, one per table of the join order.  Execution is a depth-first search
+over index combinations — descend when the current partial tuple satisfies
+all newly applicable predicates, advance the current index otherwise, and
+backtrack when a table is exhausted.  Because the complete execution state is
+that index vector, suspending after a bounded number of loop iterations and
+resuming later (possibly after executing other join orders in between) is
+essentially free.
+
+With equality join predicates, advancing an index "jumps" directly to the
+next tuple whose join column matches the value fixed by the preceding tables,
+using the hash maps built during pre-processing (paper §4.5, last paragraph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.engine.meter import CostMeter
+from repro.query.predicates import Predicate
+from repro.query.udf import UdfRegistry
+from repro.skinner.preprocessor import PreprocessedQuery
+from repro.skinner.result_set import JoinResultSet
+from repro.skinner.state import JoinState
+
+
+@dataclass
+class _JumpSpec:
+    """How to jump the index at one join-order position via hashing."""
+
+    own_column: str
+    earlier_position: int
+    earlier_alias: str
+    earlier_column: str
+
+
+@dataclass
+class _OrderContext:
+    """Per-join-order precomputation: applicable predicates and jump specs."""
+
+    order: tuple[str, ...]
+    cardinalities: tuple[int, ...]
+    predicates_at: list[list[Predicate]] = field(default_factory=list)
+    predicate_aliases_at: list[list[tuple[str, ...]]] = field(default_factory=list)
+    jump_at: list[_JumpSpec | None] = field(default_factory=list)
+
+
+class MultiwayJoin:
+    """Executes join orders for one pre-processed query, one slice at a time."""
+
+    def __init__(
+        self,
+        prepared: PreprocessedQuery,
+        udfs: UdfRegistry | None = None,
+        *,
+        use_hash_jump: bool = True,
+    ) -> None:
+        self._prepared = prepared
+        self._udfs = udfs
+        self._use_hash_jump = use_hash_jump
+        self._contexts: dict[tuple[str, ...], _OrderContext] = {}
+
+    # ------------------------------------------------------------------
+    # per-order preparation
+    # ------------------------------------------------------------------
+    def context_for(self, order: tuple[str, ...]) -> _OrderContext:
+        """Build (or fetch) the cached execution context for a join order."""
+        context = self._contexts.get(order)
+        if context is not None:
+            return context
+        prepared = self._prepared
+        cardinalities = tuple(prepared.cardinality(alias) for alias in order)
+        context = _OrderContext(order=order, cardinalities=cardinalities)
+        remaining = list(prepared.join_predicates)
+        seen: set[str] = set()
+        for position, alias in enumerate(order):
+            seen.add(alias)
+            newly = [p for p in remaining if p.tables() <= seen and alias in p.tables()]
+            remaining = [p for p in remaining if p not in newly]
+            context.predicates_at.append(newly)
+            context.predicate_aliases_at.append([tuple(sorted(p.tables())) for p in newly])
+            context.jump_at.append(self._jump_spec(order, position, newly))
+        self._contexts[order] = context
+        return context
+
+    def _jump_spec(
+        self, order: tuple[str, ...], position: int, predicates: list[Predicate]
+    ) -> _JumpSpec | None:
+        if not self._use_hash_jump or position == 0:
+            return None
+        alias = order[position]
+        earlier = {a: p for p, a in enumerate(order[:position])}
+        for predicate in predicates:
+            if not predicate.is_equi_join:
+                continue
+            left, right = predicate.equi_join_columns()
+            own = left if left.table == alias else right
+            other = right if left.table == alias else left
+            if other.table not in earlier:
+                continue
+            if (alias, own.column) not in self._prepared.join_maps:
+                continue
+            return _JumpSpec(
+                own_column=own.column,
+                earlier_position=earlier[other.table],
+                earlier_alias=other.table,
+                earlier_column=other.column,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # ContinueJoin (Algorithm 2)
+    # ------------------------------------------------------------------
+    def continue_join(
+        self,
+        state: JoinState,
+        offsets: Mapping[str, int],
+        budget: int,
+        result_set: JoinResultSet,
+        meter: CostMeter,
+    ) -> bool:
+        """Execute ``state.order`` for at most ``budget`` loop iterations.
+
+        Returns ``True`` when the join order has been fully enumerated (the
+        left-most table is exhausted), ``False`` when the budget ran out.
+        Result tuples are added to ``result_set``; ``state`` is advanced in
+        place so the caller can back it up.
+        """
+        context = self.context_for(state.order)
+        order = context.order
+        cardinalities = context.cardinalities
+        last = len(order) - 1
+        if any(c == 0 for c in cardinalities):
+            return True
+
+        # Resuming restarts the descent at depth 0, which costs up to one
+        # iteration per join-order position before any index advances; a
+        # budget below that would make no progress and never terminate.
+        budget = max(budget, len(order) + 1)
+        depth = 0
+        iterations = 0
+        while iterations < budget:
+            iterations += 1
+            meter.charge_scan(1)
+            if state.indices[depth] < cardinalities[depth] and self._satisfied(
+                context, depth, state, meter
+            ):
+                if depth == last:
+                    result_set.add(self._result_tuple(state))
+                    meter.charge_output(1)
+                    depth = self._next_tuple(context, state, offsets, depth)
+                else:
+                    depth += 1
+            else:
+                depth = self._next_tuple(context, state, offsets, depth)
+            if depth < 0:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # NextTuple with optional hash jump
+    # ------------------------------------------------------------------
+    def _next_tuple(
+        self,
+        context: _OrderContext,
+        state: JoinState,
+        offsets: Mapping[str, int],
+        depth: int,
+    ) -> int:
+        order = context.order
+        cardinalities = context.cardinalities
+        while True:
+            if state.indices[depth] < cardinalities[depth]:
+                state.indices[depth] = self._advance_index(context, state, depth)
+            else:
+                state.indices[depth] = cardinalities[depth]
+            if state.indices[depth] < cardinalities[depth]:
+                return depth
+            state.indices[depth] = offsets.get(order[depth], 0)
+            depth -= 1
+            if depth < 0:
+                return -1
+
+    def _advance_index(self, context: _OrderContext, state: JoinState, depth: int) -> int:
+        spec = context.jump_at[depth]
+        current = state.indices[depth]
+        if spec is None:
+            return current + 1
+        prepared = self._prepared
+        earlier_index = state.indices[spec.earlier_position]
+        value = prepared.value_at(spec.earlier_alias, spec.earlier_column, earlier_index)
+        join_map = prepared.join_maps[(context.order[depth], spec.own_column)]
+        matches = join_map.get(value)
+        if matches is None:
+            return context.cardinalities[depth]
+        position = int(np.searchsorted(matches, current + 1, side="left"))
+        if position >= matches.shape[0]:
+            return context.cardinalities[depth]
+        return int(matches[position])
+
+    # ------------------------------------------------------------------
+    # predicate checking and result construction
+    # ------------------------------------------------------------------
+    def _satisfied(
+        self, context: _OrderContext, depth: int, state: JoinState, meter: CostMeter
+    ) -> bool:
+        predicates = context.predicates_at[depth]
+        if not predicates:
+            return True
+        prepared = self._prepared
+        order = context.order
+        position_of = {alias: position for position, alias in enumerate(order[: depth + 1])}
+        for predicate, aliases in zip(predicates, context.predicate_aliases_at[depth]):
+            binding: dict[str, dict[str, Any]] = {}
+            for alias in aliases:
+                binding[alias] = prepared.binding_for(alias, state.indices[position_of[alias]])
+            meter.charge_predicate(1)
+            if predicate.uses_udf:
+                meter.charge_udf(max(1, predicate.udf_cost(self._udfs) - 1))
+            if not predicate.evaluate(binding, self._udfs):
+                return False
+        return True
+
+    def _result_tuple(self, state: JoinState) -> tuple[int, ...]:
+        prepared = self._prepared
+        position_of = {alias: position for position, alias in enumerate(state.order)}
+        return tuple(
+            prepared.base_row(alias, state.indices[position_of[alias]])
+            for alias in prepared.aliases
+        )

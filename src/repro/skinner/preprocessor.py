@@ -1,0 +1,143 @@
+"""Pre-processing for the Skinner-C engine.
+
+Pre-processing (paper §3) filters every base table via its unary predicates
+and, when equality join predicates are present, builds hash maps from join
+column values to the positions of the *filtered* tuple arrays.  Those maps
+power the hash-jump acceleration of the multi-way join: only tuples that
+survived the unary predicates are hashed, keeping the overhead small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.engine.meter import CostMeter
+from repro.engine.operators import filter_table
+from repro.query.predicates import Predicate
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass
+class PreprocessedQuery:
+    """Everything the multi-way join needs, computed once per query.
+
+    Attributes
+    ----------
+    query:
+        The original query.
+    aliases:
+        Canonical alias order (declaration order) used for result tuples.
+    tables:
+        Alias-to-table mapping.
+    filtered:
+        Per alias, the ascending base-table row positions surviving the
+        alias's unary predicates.
+    join_maps:
+        ``(alias, column) -> {value: sorted filtered-array indices}`` for
+        every column involved in an equality join predicate.
+    join_predicates:
+        The query's join predicates (index order is stable and used to keep
+        track of which have been applied).
+    """
+
+    query: Query
+    aliases: tuple[str, ...]
+    tables: dict[str, Table]
+    filtered: dict[str, np.ndarray]
+    join_maps: dict[tuple[str, str], dict[Any, np.ndarray]] = field(default_factory=dict)
+    join_predicates: list[Predicate] = field(default_factory=list)
+
+    def cardinality(self, alias: str) -> int:
+        """Filtered cardinality of a table."""
+        return int(self.filtered[alias].shape[0])
+
+    def cardinalities(self) -> dict[str, int]:
+        """Filtered cardinalities of all tables."""
+        return {alias: self.cardinality(alias) for alias in self.aliases}
+
+    def base_row(self, alias: str, filtered_index: int) -> int:
+        """Base-table row position for a filtered-array index."""
+        return int(self.filtered[alias][filtered_index])
+
+    def value_at(self, alias: str, column: str, filtered_index: int) -> Any:
+        """Decoded value of ``alias.column`` at a filtered-array index."""
+        position = self.base_row(alias, filtered_index)
+        return self.tables[alias].column(column).value(position)
+
+    def binding_for(self, alias: str, filtered_index: int) -> dict[str, Any]:
+        """Decoded row dict of ``alias`` at a filtered-array index."""
+        position = self.base_row(alias, filtered_index)
+        return self.tables[alias].row(position)
+
+    def is_empty(self) -> bool:
+        """Whether any table has no surviving tuples (empty join result)."""
+        return any(self.cardinality(alias) == 0 for alias in self.aliases)
+
+
+def preprocess(
+    catalog: Catalog,
+    query: Query,
+    udfs: UdfRegistry | None = None,
+    meter: CostMeter | None = None,
+    *,
+    build_hash_maps: bool = True,
+    restrict_positions: Mapping[str, np.ndarray] | None = None,
+) -> PreprocessedQuery:
+    """Filter base tables and build join hash maps for a query.
+
+    Parameters
+    ----------
+    restrict_positions:
+        Optional pre-computed filtered positions (used by tests and by
+        engines that already pre-processed).
+    """
+    meter = meter if meter is not None else CostMeter()
+    tables = {alias: catalog.table(name) for alias, name in query.tables}
+    filtered: dict[str, np.ndarray] = {}
+    for alias, table in tables.items():
+        if restrict_positions is not None and alias in restrict_positions:
+            filtered[alias] = np.asarray(restrict_positions[alias], dtype=np.int64)
+            continue
+        predicates = query.unary_predicates(alias)
+        filtered[alias] = filter_table(table, alias, predicates, meter, udfs)
+
+    prepared = PreprocessedQuery(
+        query=query,
+        aliases=tuple(query.aliases),
+        tables=tables,
+        filtered=filtered,
+        join_predicates=list(query.join_predicates()),
+    )
+    if build_hash_maps:
+        _build_join_maps(prepared, meter)
+    return prepared
+
+
+def _build_join_maps(prepared: PreprocessedQuery, meter: CostMeter) -> None:
+    """Hash each join column of each filtered table (paper §4.5, hashing)."""
+    wanted: set[tuple[str, str]] = set()
+    for predicate in prepared.join_predicates:
+        if not predicate.is_equi_join:
+            continue
+        left, right = predicate.equi_join_columns()
+        wanted.add((left.table, left.column))
+        wanted.add((right.table, right.column))
+    for alias, column_name in wanted:
+        table = prepared.tables[alias]
+        column = table.column(column_name)
+        positions = prepared.filtered[alias]
+        meter.charge_probe(int(positions.shape[0]))
+        buckets: dict[Any, list[int]] = {}
+        for filtered_index, base_position in enumerate(positions):
+            value = column.value(int(base_position))
+            buckets.setdefault(value, []).append(filtered_index)
+        prepared.join_maps[(alias, column_name)] = {
+            value: np.asarray(indices, dtype=np.int64) for value, indices in buckets.items()
+        }

@@ -1,0 +1,133 @@
+"""The progress tracker: saving, sharing, and restoring execution state.
+
+Skinner-C never loses work when it switches join orders: the state of every
+join order tried so far (one tuple index per table) is kept, and join orders
+sharing a *prefix* share progress.  The tracker stores, for every join-order
+prefix seen so far, the lexicographically most advanced index vector backed
+up for that prefix.  Restoring a join order therefore combines
+
+* the exact state last backed up for that very order (fully resumable), and
+* for every prefix length, the most advanced state of any order sharing that
+  prefix: all index combinations strictly below the stored prefix vector are
+  known to be fully processed, so the restored order may "fast-forward" to it
+  with the deeper positions reset to the shared offsets (paper §4.5).
+
+The number of tracker nodes is reported for the memory analysis (Figure 8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.skinner.state import JoinState, clamp_to_offsets, initial_state
+
+
+class _PrefixNode:
+    """Tree node for one join-order prefix."""
+
+    __slots__ = ("children", "best_prefix_state")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _PrefixNode] = {}
+        self.best_prefix_state: tuple[int, ...] | None = None
+
+
+class ProgressTracker:
+    """Stores execution progress per join order and per join-order prefix."""
+
+    def __init__(self, aliases: tuple[str, ...], *, share_prefixes: bool = True) -> None:
+        self._aliases = aliases
+        self._share_prefixes = share_prefixes
+        self._exact: dict[tuple[str, ...], tuple[int, ...]] = {}
+        self._root = _PrefixNode()
+        self._offsets: dict[str, int] = {alias: 0 for alias in aliases}
+
+    # ------------------------------------------------------------------
+    # offsets
+    # ------------------------------------------------------------------
+    @property
+    def offsets(self) -> dict[str, int]:
+        """Per-alias count of leading filtered tuples that are fully processed."""
+        return dict(self._offsets)
+
+    def advance_offset(self, alias: str, index: int) -> None:
+        """Record that all filtered tuples of ``alias`` below ``index`` are done."""
+        if index > self._offsets[alias]:
+            self._offsets[alias] = index
+
+    # ------------------------------------------------------------------
+    # backup
+    # ------------------------------------------------------------------
+    def backup(self, state: JoinState) -> None:
+        """Store the state of a join order after a time slice."""
+        order = state.order
+        indices = state.as_tuple()
+        previous = self._exact.get(order)
+        if previous is None or indices > previous:
+            self._exact[order] = indices
+        if not self._share_prefixes:
+            return
+        node = self._root
+        for position, alias in enumerate(order):
+            node = node.children.setdefault(alias, _PrefixNode())
+            prefix_state = indices[: position + 1]
+            if node.best_prefix_state is None or prefix_state > node.best_prefix_state:
+                node.best_prefix_state = prefix_state
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+    def restore(self, order: tuple[str, ...], cardinalities: Mapping[str, int]) -> JoinState:
+        """Return the most advanced safe state to resume ``order`` from."""
+        candidates: list[tuple[int, ...]] = []
+        exact = self._exact.get(order)
+        if exact is not None:
+            candidates.append(exact)
+        if self._share_prefixes:
+            node = self._root
+            for position, alias in enumerate(order):
+                node = node.children.get(alias)
+                if node is None:
+                    break
+                if node.best_prefix_state is not None:
+                    prefix = node.best_prefix_state
+                    rest = tuple(
+                        self._offsets.get(order[p], 0) for p in range(position + 1, len(order))
+                    )
+                    candidates.append(prefix + rest)
+        if not candidates:
+            state = initial_state(order, self._offsets)
+        else:
+            best = max(candidates)
+            state = JoinState(order, list(best))
+        return clamp_to_offsets(state, self._offsets, cardinalities)
+
+    # ------------------------------------------------------------------
+    # memory accounting (Figure 8)
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Number of prefix-tree nodes currently materialized."""
+
+        def count(node: _PrefixNode) -> int:
+            return 1 + sum(count(child) for child in node.children.values())
+
+        return count(self._root)
+
+    def tracked_orders(self) -> int:
+        """Number of distinct join orders with an exact stored state."""
+        return len(self._exact)
+
+    def estimated_bytes(self) -> int:
+        """Rough memory footprint of the stored states."""
+        exact_bytes = sum(8 * len(indices) for indices in self._exact.values())
+        prefix_bytes = 0
+
+        def visit(node: _PrefixNode) -> None:
+            nonlocal prefix_bytes
+            if node.best_prefix_state is not None:
+                prefix_bytes += 8 * len(node.best_prefix_state)
+            for child in node.children.values():
+                visit(child)
+
+        visit(self._root)
+        return exact_bytes + prefix_bytes

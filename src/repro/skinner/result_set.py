@@ -1,0 +1,61 @@
+"""Result set of tuple-index vectors with duplicate elimination.
+
+Different join orders can regenerate the same result tuple; Skinner-C stores
+result tuples as vectors of base-table row positions (one per query alias,
+in a canonical alias order) inside a set, so duplicates across join orders
+are eliminated before materialization (paper §4.5 and Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.engine.relation import RowIdRelation
+
+
+class JoinResultSet:
+    """A set of result tuples in tuple-index representation."""
+
+    def __init__(self, aliases: Sequence[str]) -> None:
+        self._aliases = tuple(aliases)
+        self._tuples: set[tuple[int, ...]] = set()
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """Canonical alias order of the stored index vectors."""
+        return self._aliases
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, index_tuple: tuple[int, ...]) -> bool:
+        return tuple(index_tuple) in self._tuples
+
+    def add(self, index_tuple: Sequence[int]) -> bool:
+        """Add one index vector; returns True if it was new."""
+        key = tuple(int(i) for i in index_tuple)
+        if key in self._tuples:
+            return False
+        self._tuples.add(key)
+        return True
+
+    def add_many(self, index_tuples: Iterable[Sequence[int]]) -> int:
+        """Add several index vectors; returns how many were new."""
+        added = 0
+        for index_tuple in index_tuples:
+            if self.add(index_tuple):
+                added += 1
+        return added
+
+    def tuples(self) -> list[tuple[int, ...]]:
+        """All stored index vectors (unordered)."""
+        return list(self._tuples)
+
+    def to_relation(self) -> RowIdRelation:
+        """Materialize the set as a row-id relation over the alias order."""
+        ordered = sorted(self._tuples)
+        return RowIdRelation.from_index_tuples(self._aliases, ordered)
+
+    def estimated_bytes(self) -> int:
+        """Rough memory footprint: 8 bytes per stored index."""
+        return len(self._tuples) * len(self._aliases) * 8

@@ -1,0 +1,228 @@
+"""Skinner-C: regret-bounded query evaluation on the customized engine.
+
+This is Algorithm 3 of the paper: query execution is divided into small time
+slices (``slice_budget`` multi-way-join loop iterations each).  At the start
+of a slice the UCT tree proposes a join order, the progress tracker restores
+the most advanced safe state for it, the multi-way join runs until the
+budget is exhausted, and the observed progress becomes the reward that
+updates the UCT tree.  Result tuples from all join orders accumulate in a
+duplicate-eliminating result set; execution ends when any join order (or the
+shared offsets) cover the whole input.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.engine.meter import CostMeter
+from repro.engine.postprocess import post_process
+from repro.engine.profiles import get_profile
+from repro.errors import ExecutionError
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryMetrics, QueryResult
+from repro.skinner.multiway_join import MultiwayJoin
+from repro.skinner.preprocessor import preprocess
+from repro.skinner.progress import ProgressTracker
+from repro.skinner.result_set import JoinResultSet
+from repro.skinner.reward import reward_function
+from repro.skinner.state import JoinState
+from repro.storage.catalog import Catalog
+from repro.uct.tree import UctJoinTree
+
+_MAX_SLICES = 5_000_000
+
+
+class SkinnerC:
+    """The Skinner-C engine: in-query join-order learning on a custom executor.
+
+    Parameters
+    ----------
+    catalog:
+        Tables to run against.
+    udfs:
+        Registry of user-defined functions referenced by queries.
+    config:
+        Tuning knobs; see :class:`~repro.config.SkinnerConfig`.
+    order_selection:
+        ``"uct"`` (default) or ``"random"`` — the latter replaces learning by
+        uniform random join-order selection and is the baseline of Table 5.
+    threads:
+        Number of worker threads modelled for pre-processing (only the
+        pre-processing phase parallelizes, paper §6.1).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: UdfRegistry | None = None,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        order_selection: str | None = None,
+        threads: int = 1,
+    ) -> None:
+        order_selection = order_selection or config.order_selection
+        if order_selection not in ("uct", "random"):
+            raise ValueError("order_selection must be 'uct' or 'random'")
+        self._catalog = catalog
+        self._udfs = udfs
+        self._config = config
+        self._order_selection = order_selection
+        self._threads = threads
+        self._profile = get_profile("skinner")
+
+    @property
+    def name(self) -> str:
+        """Engine name used in reports."""
+        if self._order_selection == "random":
+            return "skinner-c(random)"
+        return "skinner-c"
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query, *, trace: bool = False) -> QueryResult:
+        """Execute a query and return its result with metrics."""
+        started = time.perf_counter()
+        pre_meter = CostMeter()
+        join_meter = CostMeter()
+
+        build_maps = self._config.use_hash_jump
+        prepared = preprocess(
+            self._catalog, query, self._udfs, pre_meter, build_hash_maps=build_maps
+        )
+        cardinalities = prepared.cardinalities()
+        result_set = JoinResultSet(prepared.aliases)
+        tree = UctJoinTree(
+            query.join_graph(),
+            exploration_weight=self._config.exploration_weight,
+            seed=self._config.seed,
+        )
+        tracker = ProgressTracker(prepared.aliases, share_prefixes=self._config.share_progress)
+        join = MultiwayJoin(prepared, self._udfs, use_hash_jump=self._config.use_hash_jump)
+        compute_reward = reward_function(self._config.reward_function)
+        rng = random.Random(self._config.seed)
+        graph = query.join_graph()
+
+        slices = 0
+        trace_records: list[dict[str, Any]] = []
+        finished = prepared.is_empty() or query.num_tables == 1
+        if query.num_tables == 1 and not prepared.is_empty():
+            for filtered_index in range(cardinalities[prepared.aliases[0]]):
+                result_set.add((prepared.base_row(prepared.aliases[0], filtered_index),))
+
+        while not finished:
+            slices += 1
+            if slices > _MAX_SLICES:
+                raise ExecutionError("Skinner-C exceeded the maximum number of time slices")
+            if self._order_selection == "uct":
+                order = tree.choose_order()
+            else:
+                order = self._random_order(graph, rng)
+            state = tracker.restore(order, cardinalities)
+            prior = state.copy()
+            finished = join.continue_join(
+                state,
+                tracker.offsets,
+                self._config.slice_budget,
+                result_set,
+                join_meter,
+            )
+            reward = compute_reward(prior, state, cardinalities)
+            tree.update(order, reward)
+            tracker.backup(state)
+            if self._config.use_offsets:
+                tracker.advance_offset(order[0], state.indices[0])
+                if any(tracker.offsets[a] >= cardinalities[a] for a in prepared.aliases):
+                    finished = True
+            if trace:
+                trace_records.append(
+                    {"slice": slices, "uct_nodes": tree.node_count(), "order": order}
+                )
+
+        relation = result_set.to_relation()
+        output = post_process(query, relation, prepared.tables, self._udfs, join_meter)
+
+        total_meter = CostMeter()
+        total_meter.merge(pre_meter)
+        total_meter.merge(join_meter)
+        simulated = self._profile.simulated_time(
+            pre_meter.snapshot(), threads=self._threads
+        ) + self._profile.simulated_time(join_meter.snapshot(), threads=1)
+
+        metrics = QueryMetrics(
+            engine=self.name,
+            work=total_meter.snapshot(),
+            simulated_time=simulated,
+            wall_time_seconds=time.perf_counter() - started,
+            intermediate_cardinality=join_meter.tuples_scanned,
+            result_rows=output.num_rows,
+            final_join_order=tree.best_order() if self._order_selection == "uct" else None,
+            time_slices=slices,
+            uct_nodes=tree.node_count(),
+            tracker_nodes=tracker.node_count(),
+            result_tuple_count=len(result_set),
+            extra={
+                "result_bytes": result_set.estimated_bytes(),
+                "tracker_bytes": tracker.estimated_bytes(),
+                "uct_bytes": tree.node_count() * 64,
+                "top_orders": tree.top_orders(5),
+                "trace": trace_records,
+                "threads": self._threads,
+            },
+        )
+        return QueryResult(output, metrics)
+
+    def execute_with_order(self, query: Query, order: tuple[str, ...]) -> QueryResult:
+        """Execute a query with one fixed join order on the Skinner-C engine.
+
+        No learning happens: the multi-way join runs the given order to
+        completion.  Tables 3 and 4 use this to measure how a given join
+        order (Skinner's learned order, or the C_out-optimal order) performs
+        inside the Skinner execution engine.
+        """
+        started = time.perf_counter()
+        meter = CostMeter()
+        prepared = preprocess(
+            self._catalog, query, self._udfs, meter,
+            build_hash_maps=self._config.use_hash_jump,
+        )
+        result_set = JoinResultSet(prepared.aliases)
+        if query.num_tables == 1 and not prepared.is_empty():
+            for filtered_index in range(prepared.cardinality(prepared.aliases[0])):
+                result_set.add((prepared.base_row(prepared.aliases[0], filtered_index),))
+        elif not prepared.is_empty():
+            join = MultiwayJoin(prepared, self._udfs, use_hash_jump=self._config.use_hash_jump)
+            state = JoinState(tuple(order))
+            offsets = {alias: 0 for alias in prepared.aliases}
+            finished = False
+            while not finished:
+                finished = join.continue_join(
+                    state, offsets, self._config.slice_budget, result_set, meter
+                )
+        relation = result_set.to_relation()
+        output = post_process(query, relation, prepared.tables, self._udfs, meter)
+        work = meter.snapshot()
+        metrics = QueryMetrics(
+            engine=f"{self.name}(forced)",
+            work=work,
+            simulated_time=self._profile.simulated_time(work, threads=1),
+            wall_time_seconds=time.perf_counter() - started,
+            intermediate_cardinality=work.tuples_scanned,
+            result_rows=output.num_rows,
+            final_join_order=tuple(order),
+            result_tuple_count=len(result_set),
+        )
+        return QueryResult(output, metrics)
+
+    @staticmethod
+    def _random_order(graph, rng: random.Random) -> tuple[str, ...]:
+        """A uniformly random join order avoiding needless Cartesian products."""
+        prefix: list[str] = []
+        total = len(graph.aliases)
+        while len(prefix) < total:
+            prefix.append(rng.choice(graph.eligible_next(prefix)))
+        return tuple(prefix)

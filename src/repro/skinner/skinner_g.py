@@ -1,0 +1,237 @@
+"""Skinner-G: join-order learning on top of a generic execution engine.
+
+Algorithm 1 of the paper: each table is split into batches; every iteration
+the pyramid timeout scheme picks a per-batch budget, a per-timeout UCT tree
+picks a join order, and the generic engine (here: the left-deep plan
+executor, standing in for Postgres/MonetDB) joins one batch of the left-most
+table with the remaining tuples of all other tables under that budget.
+Completed batches earn reward 1 and are excluded from further processing;
+timed-out attempts earn reward 0 and all their intermediate work is lost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.engine.executor import PlanExecutor
+from repro.engine.meter import CostMeter
+from repro.engine.postprocess import post_process
+from repro.engine.profiles import EngineProfile, get_profile
+from repro.errors import BudgetExceeded, ExecutionError
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryMetrics, QueryResult
+from repro.skinner.result_set import JoinResultSet
+from repro.skinner.timeouts import PyramidTimeoutScheme
+from repro.storage.catalog import Catalog
+from repro.uct.tree import UctJoinTree
+
+_MAX_ITERATIONS = 500_000
+
+
+@dataclass
+class GenericLearningRun:
+    """The resumable state of one Skinner-G execution.
+
+    Skinner-H interleaves this run with executions of the traditional
+    optimizer's plan, so the run exposes a :meth:`step` method executing a
+    single iteration (one batch attempt) and reports the work it consumed.
+    """
+
+    catalog: Catalog
+    query: Query
+    udfs: UdfRegistry | None
+    config: SkinnerConfig
+    executor: PlanExecutor = field(init=False)
+    meter: CostMeter = field(init=False)
+    result_set: JoinResultSet = field(init=False)
+    scheme: PyramidTimeoutScheme = field(init=False)
+    trees: dict[int, UctJoinTree] = field(init=False, default_factory=dict)
+    batch_offsets: dict[str, int] = field(init=False, default_factory=dict)
+    batches: dict[str, list[np.ndarray]] = field(init=False, default_factory=dict)
+    iterations: int = field(init=False, default=0)
+    finished: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.executor = PlanExecutor(self.catalog, self.query, self.udfs)
+        self.meter = CostMeter()
+        self.executor.pre_process(self.meter)
+        self.result_set = JoinResultSet(tuple(self.query.aliases))
+        self.scheme = PyramidTimeoutScheme(self.config.base_timeout)
+        self._graph = self.query.join_graph()
+        for alias in self.query.aliases:
+            positions = self.executor.filtered_positions(alias)
+            per_table = max(1, min(self.config.batches_per_table, positions.shape[0] or 1))
+            self.batches[alias] = [
+                np.asarray(chunk, dtype=np.int64)
+                for chunk in np.array_split(positions, per_table)
+            ]
+            self.batch_offsets[alias] = 0
+        if any(self.executor.filtered_positions(a).shape[0] == 0 for a in self.query.aliases):
+            self.finished = True
+        if self.query.num_tables == 1:
+            alias = self.query.aliases[0]
+            for position in self.executor.filtered_positions(alias):
+                self.result_set.add((int(position),))
+            self.finished = True
+
+    # ------------------------------------------------------------------
+    # single iteration
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Run one iteration (one batch attempt); returns the work consumed."""
+        if self.finished:
+            return 0
+        self.iterations += 1
+        if self.iterations > _MAX_ITERATIONS:
+            raise ExecutionError("Skinner-G exceeded the maximum number of iterations")
+        choice = self.scheme.next_timeout()
+        tree = self.trees.get(choice.level)
+        if tree is None:
+            tree = UctJoinTree(
+                self._graph,
+                exploration_weight=self.config.generic_exploration_weight,
+                seed=None if self.config.seed is None else self.config.seed + choice.level,
+            )
+            self.trees[choice.level] = tree
+        if self.config.order_selection == "random":
+            order = self._random_order()
+        else:
+            order = tree.choose_order()
+        left = order[0]
+        base_positions = self._base_positions(order)
+        slice_meter = CostMeter(budget=choice.budget)
+        try:
+            relation = self.executor.execute_order(order, slice_meter, base_positions)
+            success = True
+        except BudgetExceeded:
+            success = False
+        spent = slice_meter.total
+        self.meter.merge(slice_meter)
+        if success:
+            self.result_set.add_many(relation.index_tuples(tuple(self.query.aliases)))
+            self.batch_offsets[left] += 1
+            tree.update(order, 1.0)
+            if self.batch_offsets[left] >= len(self.batches[left]):
+                self.finished = True
+        else:
+            tree.update(order, 0.0)
+        return spent
+
+    def _random_order(self) -> tuple[str, ...]:
+        """Uniform random join order (Cartesian-avoiding) for the ablation."""
+        import random
+
+        rng = random.Random(None if self.config.seed is None else self.config.seed + self.iterations)
+        prefix: list[str] = []
+        while len(prefix) < self.query.num_tables:
+            prefix.append(rng.choice(self._graph.eligible_next(prefix)))
+        return tuple(prefix)
+
+    def _base_positions(self, order: tuple[str, ...]) -> dict[str, np.ndarray]:
+        """Positions per alias: current batch for the left-most, remainder otherwise."""
+        left = order[0]
+        positions: dict[str, np.ndarray] = {}
+        for alias in order:
+            offset = self.batch_offsets[alias]
+            chunks = self.batches[alias]
+            if alias == left:
+                positions[alias] = chunks[offset] if offset < len(chunks) else np.empty(0, np.int64)
+            else:
+                remaining = chunks[offset:]
+                positions[alias] = (
+                    np.concatenate(remaining) if remaining else np.empty(0, np.int64)
+                )
+        return positions
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+    def uct_node_count(self) -> int:
+        """Total UCT nodes over all per-timeout trees."""
+        return sum(tree.node_count() for tree in self.trees.values())
+
+    def best_order(self) -> tuple[str, ...] | None:
+        """Best order of the most-exercised UCT tree, if any."""
+        if not self.trees:
+            return None
+        busiest = max(self.trees.values(), key=lambda tree: tree.root.visits)
+        return busiest.best_order()
+
+
+class SkinnerG:
+    """The Skinner-G engine wrapper producing query results and metrics."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: UdfRegistry | None = None,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        dbms_profile: str | EngineProfile = "postgres",
+        threads: int = 1,
+    ) -> None:
+        self._catalog = catalog
+        self._udfs = udfs
+        self._config = config
+        self._profile = (
+            dbms_profile if isinstance(dbms_profile, EngineProfile) else get_profile(dbms_profile)
+        )
+        self._threads = threads
+
+    @property
+    def name(self) -> str:
+        """Engine name used in reports."""
+        return f"skinner-g({self._profile.name})"
+
+    def execute(self, query: Query) -> QueryResult:
+        """Execute a query with pure in-query learning on the generic engine."""
+        started = time.perf_counter()
+        run = GenericLearningRun(self._catalog, query, self._udfs, self._config)
+        while not run.finished:
+            run.step()
+        return self._finalize(query, run, started, engine_name=self.name)
+
+    # ------------------------------------------------------------------
+    # shared with Skinner-H
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        query: Query,
+        run: GenericLearningRun,
+        started: float,
+        *,
+        engine_name: str,
+        extra: dict[str, Any] | None = None,
+        extra_work: CostMeter | None = None,
+    ) -> QueryResult:
+        relation = run.result_set.to_relation()
+        output = post_process(query, relation, run.executor.tables, self._udfs, run.meter)
+        total = CostMeter()
+        total.merge(run.meter)
+        if extra_work is not None:
+            total.merge(extra_work)
+        work = total.snapshot()
+        metrics = QueryMetrics(
+            engine=engine_name,
+            work=work,
+            simulated_time=self._profile.simulated_time(work, threads=self._threads),
+            wall_time_seconds=time.perf_counter() - started,
+            intermediate_cardinality=work.intermediate_tuples,
+            result_rows=output.num_rows,
+            final_join_order=run.best_order(),
+            time_slices=run.iterations,
+            uct_nodes=run.uct_node_count(),
+            result_tuple_count=len(run.result_set),
+            extra={
+                "timeout_levels": run.scheme.time_per_level(),
+                "threads": self._threads,
+                **(extra or {}),
+            },
+        )
+        return QueryResult(output, metrics)

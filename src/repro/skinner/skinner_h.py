@@ -1,0 +1,153 @@
+"""Skinner-H: the hybrid of a traditional optimizer and in-query learning.
+
+The hybrid (paper §4.4) alternates between executing the plan chosen by the
+traditional optimizer — with a timeout that doubles on every attempt — and
+running the Skinner-G learning algorithm for the same amount of time.  The
+first side to finish wins.  Theorems 5.7 and 5.8 show this bounds regret
+both against the optimal plan and against the traditional optimizer: at most
+a constant-factor slowdown when the traditional plan is good, and learned
+performance (up to a factor three) when it is catastrophic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.engine.executor import PlanExecutor
+from repro.engine.meter import CostMeter
+from repro.engine.postprocess import post_process
+from repro.engine.profiles import EngineProfile, get_profile
+from repro.errors import BudgetExceeded, ExecutionError
+from repro.optimizer.cardinality import EstimatedCardinality
+from repro.optimizer.dp_optimizer import DynamicProgrammingOptimizer
+from repro.optimizer.greedy import GreedyOptimizer
+from repro.optimizer.plans import LeftDeepPlan
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryMetrics, QueryResult
+from repro.skinner.skinner_g import GenericLearningRun, SkinnerG
+from repro.storage.catalog import Catalog
+
+_MAX_ROUNDS = 64
+_MAX_EXHAUSTIVE_TABLES = 11
+
+
+class SkinnerH:
+    """The hybrid Skinner engine on top of a generic execution engine."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: UdfRegistry | None = None,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        dbms_profile: str | EngineProfile = "postgres",
+        statistics: StatisticsCatalog | None = None,
+        threads: int = 1,
+    ) -> None:
+        self._catalog = catalog
+        self._udfs = udfs
+        self._config = config
+        self._profile = (
+            dbms_profile if isinstance(dbms_profile, EngineProfile) else get_profile(dbms_profile)
+        )
+        self._statistics = statistics
+        self._threads = threads
+        self._generic = SkinnerG(
+            catalog, udfs, config, dbms_profile=self._profile, threads=threads
+        )
+
+    @property
+    def name(self) -> str:
+        """Engine name used in reports."""
+        return f"skinner-h({self._profile.name})"
+
+    # ------------------------------------------------------------------
+    # planning with the traditional optimizer
+    # ------------------------------------------------------------------
+    def _traditional_plan(self, query: Query) -> LeftDeepPlan:
+        statistics = self._statistics
+        if statistics is None:
+            statistics = StatisticsCatalog.collect(self._catalog)
+            self._statistics = statistics
+        estimator = EstimatedCardinality(query, statistics, self._udfs)
+        if query.num_tables <= _MAX_EXHAUSTIVE_TABLES:
+            return DynamicProgrammingOptimizer().optimize(query, estimator)
+        return GreedyOptimizer().optimize(query, estimator)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> QueryResult:
+        """Execute a query by interleaving the optimizer plan with learning."""
+        started = time.perf_counter()
+        plan = self._traditional_plan(query)
+        run = GenericLearningRun(self._catalog, query, self._udfs, self._config)
+        traditional_meter = CostMeter()
+
+        if run.finished:
+            # Trivial queries (single table / empty input) need no join phase.
+            return self._generic._finalize(
+                query, run, started, engine_name=self.name,
+                extra={"winner": "learning", "rounds": 0, "plan": plan.order},
+            )
+
+        for round_index in range(_MAX_ROUNDS):
+            budget = self._config.base_timeout * 2**round_index
+            # 1. Try the traditional optimizer's plan under the current timeout.
+            executor = PlanExecutor(self._catalog, query, self._udfs)
+            attempt_meter = CostMeter(budget=budget)
+            try:
+                relation = executor.execute_order(plan.order, attempt_meter)
+                traditional_meter.merge(attempt_meter)
+                output = post_process(query, relation, executor.tables, self._udfs,
+                                      traditional_meter)
+                return self._traditional_result(
+                    query, output, plan, run, traditional_meter, started, round_index
+                )
+            except BudgetExceeded:
+                traditional_meter.merge(attempt_meter)
+            # 2. Give the learning run the same amount of work.
+            learned = 0
+            while learned < budget and not run.finished:
+                learned += run.step()
+            if run.finished:
+                return self._generic._finalize(
+                    query, run, started, engine_name=self.name,
+                    extra={"winner": "learning", "rounds": round_index + 1,
+                           "plan": plan.order},
+                    extra_work=traditional_meter,
+                )
+        raise ExecutionError("Skinner-H did not converge within the round limit")
+
+    def _traditional_result(
+        self,
+        query: Query,
+        output,
+        plan: LeftDeepPlan,
+        run: GenericLearningRun,
+        traditional_meter: CostMeter,
+        started: float,
+        rounds: int,
+    ) -> QueryResult:
+        total = CostMeter()
+        total.merge(traditional_meter)
+        total.merge(run.meter)
+        work = total.snapshot()
+        metrics = QueryMetrics(
+            engine=self.name,
+            work=work,
+            simulated_time=self._profile.simulated_time(work, threads=self._threads),
+            wall_time_seconds=time.perf_counter() - started,
+            intermediate_cardinality=work.intermediate_tuples,
+            result_rows=output.num_rows,
+            final_join_order=plan.order,
+            time_slices=run.iterations,
+            uct_nodes=run.uct_node_count(),
+            result_tuple_count=len(run.result_set),
+            extra={"winner": "traditional", "rounds": rounds + 1, "plan": plan.order,
+                   "threads": self._threads},
+        )
+        return QueryResult(output, metrics)

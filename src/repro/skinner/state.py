@@ -1,0 +1,102 @@
+"""Execution state of the multi-way join: tuple indices and offsets.
+
+The whole point of Skinner-C's engine design is that the execution state of
+a partially evaluated join order is tiny: one integer per table (the current
+tuple index into the filtered table) plus the shared per-table offsets of
+tuples that are globally finished.  That makes backup and restore when
+switching join orders essentially free (paper §4.5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JoinState:
+    """Tuple indices for one join order.
+
+    ``indices[p]`` is the current index (into the *filtered* tuple array) of
+    the table at position ``p`` of the join order.  Indices are 0-based; an
+    index equal to the table's filtered cardinality means "exhausted".
+    """
+
+    order: tuple[str, ...]
+    indices: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            self.indices = [0] * len(self.order)
+        if len(self.indices) != len(self.order):
+            raise ValueError("state length must match join order length")
+
+    def copy(self) -> "JoinState":
+        """Deep copy of the state."""
+        return JoinState(self.order, list(self.indices))
+
+    def index_of(self, alias: str) -> int:
+        """Current tuple index of the given alias."""
+        return self.indices[self.order.index(alias)]
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """The indices as an immutable tuple (position order)."""
+        return tuple(self.indices)
+
+    def lexicographic_key(self) -> tuple[int, ...]:
+        """Key for comparing progress of two states of the *same* join order."""
+        return tuple(self.indices)
+
+    def is_ahead_of(self, other: "JoinState") -> bool:
+        """Whether this state is strictly ahead of ``other`` (same order)."""
+        if self.order != other.order:
+            raise ValueError("states belong to different join orders")
+        return self.lexicographic_key() > other.lexicographic_key()
+
+    def progress_fraction(self, cardinalities: Mapping[str, int]) -> float:
+        """Fraction of the lexicographic index space already covered.
+
+        ``sum_p index_p / prod_{q <= p} card_q`` — the quantity the refined
+        reward function is the delta of.
+        """
+        fraction = 0.0
+        scale = 1.0
+        for position, alias in enumerate(self.order):
+            cardinality = max(1, cardinalities[alias])
+            scale *= cardinality
+            fraction += self.indices[position] / scale
+        return min(1.0, fraction)
+
+
+def clamp_to_offsets(
+    state: JoinState, offsets: Mapping[str, int], cardinalities: Mapping[str, int]
+) -> JoinState:
+    """Raise state indices to at least the shared offsets.
+
+    Tuples below an offset are globally finished, so raising an index to the
+    offset never skips unprocessed results.  Raising an index at position
+    ``p`` does, however, invalidate the meaning of all deeper indices (they
+    recorded progress for the *old* value at ``p``), so every position after
+    the first raised one is reset to its offset.
+    """
+    clamped = state.copy()
+    raised = False
+    for position, alias in enumerate(state.order):
+        low = offsets.get(alias, 0)
+        high = max(low, cardinalities.get(alias, 0))
+        index = clamped.indices[position]
+        if raised:
+            clamped.indices[position] = low
+            continue
+        if index < low:
+            clamped.indices[position] = low
+            raised = True
+        else:
+            clamped.indices[position] = min(index, high)
+    return clamped
+
+
+def initial_state(order: Sequence[str], offsets: Mapping[str, int]) -> JoinState:
+    """The state at which a join order starts: every index at its offset."""
+    order = tuple(order)
+    return JoinState(order, [offsets.get(alias, 0) for alias in order])

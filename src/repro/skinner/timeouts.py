@@ -1,0 +1,63 @@
+"""The pyramid timeout scheme of Skinner-G (paper §4.3, Figure 3).
+
+Skinner-G cannot know the right per-batch timeout a priori: too small and no
+batch ever completes, too large and bad join orders waste time.  The pyramid
+scheme iterates over timeout levels ``L`` with budget ``2^L`` base units,
+always choosing the highest level whose accumulated execution time does not
+exceed the time given to any lower level.  Lemmas 5.4 and 5.5 show that at
+most ``log(n)`` levels are used and that the total time per level never
+differs by more than a factor of two — both are verified by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimeoutChoice:
+    """The outcome of one scheduling step."""
+
+    level: int
+    budget: int
+
+
+class PyramidTimeoutScheme:
+    """Allocates per-iteration budgets across exponentially growing timeouts."""
+
+    def __init__(self, base_timeout: int = 1) -> None:
+        if base_timeout <= 0:
+            raise ValueError("base timeout must be positive")
+        self._base_timeout = base_timeout
+        self._time_per_level: dict[int, int] = {}
+
+    @property
+    def base_timeout(self) -> int:
+        """Work-unit budget of timeout level 0."""
+        return self._base_timeout
+
+    def time_per_level(self) -> dict[int, int]:
+        """Accumulated time (in base-timeout units) allocated to each level."""
+        return dict(self._time_per_level)
+
+    def levels_used(self) -> int:
+        """Number of distinct timeout levels used so far."""
+        return len(self._time_per_level)
+
+    def next_timeout(self) -> TimeoutChoice:
+        """Choose the timeout level for the next iteration and account for it.
+
+        Implements ``L <- max{L | forall l < L: n_l >= n_L + 2^L}`` followed by
+        ``n_L <- n_L + 2^L`` (Algorithm 1, function NextTimeout).
+        """
+        max_existing = max(self._time_per_level, default=-1)
+        chosen = 0
+        for level in range(max_existing + 2):
+            if self._is_feasible(level):
+                chosen = level
+        self._time_per_level[chosen] = self._time_per_level.get(chosen, 0) + 2**chosen
+        return TimeoutChoice(level=chosen, budget=self._base_timeout * 2**chosen)
+
+    def _is_feasible(self, level: int) -> bool:
+        required = self._time_per_level.get(level, 0) + 2**level
+        return all(self._time_per_level.get(l, 0) >= required for l in range(level))

@@ -1,0 +1,33 @@
+"""Column-store storage substrate.
+
+This package provides the minimal in-memory column store that every engine
+in the repository (traditional executor, Skinner variants, Eddies, ...) runs
+on top of:
+
+* :class:`~repro.storage.column.Column` — a typed, immutable column holding
+  64-bit integers, floats, or dictionary-encoded strings.
+* :class:`~repro.storage.table.Table` — a named collection of equal-length
+  columns.
+* :class:`~repro.storage.index.HashIndex` — a hash index from column value to
+  the sorted row positions holding that value; used both by the traditional
+  hash-join operators and by Skinner-C's hash-jump multi-way join.
+* :class:`~repro.storage.catalog.Catalog` — the set of tables known to a
+  database instance.
+* :mod:`~repro.storage.loader` — CSV import/export helpers.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.index import HashIndex
+from repro.storage.loader import load_csv, save_csv
+from repro.storage.table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "HashIndex",
+    "Table",
+    "load_csv",
+    "save_csv",
+]

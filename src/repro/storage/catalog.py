@@ -1,0 +1,82 @@
+"""The catalog: the set of tables known to a database instance."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import CatalogError
+from repro.storage.index import HashIndex
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Registry of tables and their hash indexes.
+
+    The catalog deliberately stores *no statistics*: statistics live in
+    :mod:`repro.optimizer.statistics` and are only consulted by the
+    traditional optimizer baselines, never by the Skinner strategies
+    (SkinnerDB "maintains no data statistics", paper §1).
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register a table; raises if the name exists unless ``replace``."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        self._indexes = {
+            key: index for key, index in self._indexes.items() if key[0] != table.name
+        }
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its indexes."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+        self._indexes = {key: index for key, index in self._indexes.items() if key[0] != name}
+
+    def table(self, name: str) -> Table:
+        """Return a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} does not exist") from exc
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name is registered."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """All registered table names."""
+        return list(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def build_index(self, table_name: str, column_name: str) -> HashIndex:
+        """Build (or fetch a cached) hash index on ``table.column``."""
+        key = (table_name, column_name)
+        if key not in self._indexes:
+            column = self.table(table_name).column(column_name)
+            self._indexes[key] = HashIndex(column)
+        return self._indexes[key]
+
+    def index(self, table_name: str, column_name: str) -> HashIndex | None:
+        """Return an existing index or ``None``."""
+        return self._indexes.get((table_name, column_name))
+
+    def index_count(self) -> int:
+        """Number of materialized hash indexes."""
+        return len(self._indexes)

@@ -1,0 +1,244 @@
+"""Typed, immutable columns backed by numpy arrays.
+
+SkinnerDB assumes a main-memory column store so that partial tuples can be
+materialized lazily from tuple-index vectors (paper §4.5).  A column stores
+either 64-bit integers, 64-bit floats, or dictionary-encoded strings.  String
+columns keep an integer code per row plus a dictionary of distinct values,
+which makes equality predicates and hash joins on strings as cheap as on
+integers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+
+class Column:
+    """An immutable typed column.
+
+    Parameters
+    ----------
+    values:
+        Raw values.  Integers, floats, or strings; ``None`` is not supported
+        (the benchmarks in the paper do not exercise NULL semantics).
+    ctype:
+        Optional explicit :class:`ColumnType`.  If omitted, the type is
+        inferred from the values.
+    """
+
+    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of")
+
+    def __init__(self, values: Iterable[Any], ctype: ColumnType | None = None) -> None:
+        values = list(values) if not isinstance(values, np.ndarray) else values
+        if ctype is None:
+            ctype = _infer_type(values)
+        self._ctype = ctype
+        self._dictionary: list[str] | None = None
+        self._code_of: dict[str, int] | None = None
+        if ctype is ColumnType.INT:
+            self._data = np.asarray(values, dtype=np.int64)
+        elif ctype is ColumnType.FLOAT:
+            self._data = np.asarray(values, dtype=np.float64)
+        elif ctype is ColumnType.STRING:
+            codes, dictionary, code_of = _encode_strings(values)
+            self._data = codes
+            self._dictionary = dictionary
+            self._code_of = code_of
+        else:  # pragma: no cover - exhaustive enum
+            raise SchemaError(f"unknown column type {ctype!r}")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def ctype(self) -> ColumnType:
+        """Logical type of this column."""
+        return self._ctype
+
+    @property
+    def data(self) -> np.ndarray:
+        """The physical numpy array (codes for string columns)."""
+        return self._data
+
+    @property
+    def dictionary(self) -> list[str]:
+        """Dictionary of a string column (distinct values, indexed by code)."""
+        if self._dictionary is None:
+            raise SchemaError("only string columns have a dictionary")
+        return self._dictionary
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self._ctype is not other._ctype or len(self) != len(other):
+            return False
+        return all(self.value(i) == other.value(i) for i in range(len(self)))
+
+    def __hash__(self) -> int:  # pragma: no cover - columns used as values, not keys
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Column({self._ctype.value}, n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # value access
+    # ------------------------------------------------------------------
+    def value(self, row: int) -> Any:
+        """Return the decoded value at ``row``."""
+        raw = self._data[row]
+        if self._ctype is ColumnType.STRING:
+            return self.dictionary[int(raw)]
+        if self._ctype is ColumnType.INT:
+            return int(raw)
+        return float(raw)
+
+    def values(self) -> list[Any]:
+        """Return all decoded values as a Python list."""
+        return [self.value(i) for i in range(len(self))]
+
+    def raw(self, row: int) -> Any:
+        """Return the physical value at ``row`` (code for strings)."""
+        return self._data[row]
+
+    def encode(self, value: Any) -> Any:
+        """Translate a literal into the physical domain of this column.
+
+        For string columns this returns the dictionary code, or ``-1`` if the
+        value does not occur in the column (no row can match equality then).
+        Numeric columns return the value unchanged.
+        """
+        if self._ctype is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(f"cannot compare string column with {value!r}")
+            assert self._code_of is not None
+            return self._code_of.get(value, -1)
+        return value
+
+    # ------------------------------------------------------------------
+    # bulk operations
+    # ------------------------------------------------------------------
+    def take(self, positions: np.ndarray | Sequence[int]) -> "Column":
+        """Return a new column restricted to ``positions`` (in that order)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if self._ctype is ColumnType.STRING:
+            values = [self.dictionary[int(code)] for code in self._data[positions]]
+            return Column(values, ColumnType.STRING)
+        return _from_physical(self._data[positions], self._ctype)
+
+    def compare(self, op: str, literal: Any) -> np.ndarray:
+        """Return a boolean mask of rows satisfying ``column <op> literal``.
+
+        ``op`` is one of ``=, !=, <, <=, >, >=``.  Ordering comparisons on
+        string columns are evaluated on decoded values.
+        """
+        if self._ctype is ColumnType.STRING and op not in ("=", "!="):
+            decoded = np.asarray(self.values(), dtype=object)
+            return _apply_comparison(decoded, op, literal)
+        physical = self.encode(literal) if self._ctype is ColumnType.STRING else literal
+        return _apply_comparison(self._data, op, physical)
+
+    def isin(self, literals: Iterable[Any]) -> np.ndarray:
+        """Return a boolean mask of rows whose value is in ``literals``."""
+        if self._ctype is ColumnType.STRING:
+            codes = [self.encode(v) for v in literals]
+            return np.isin(self._data, [c for c in codes if c >= 0])
+        return np.isin(self._data, list(literals))
+
+    def distinct_count(self) -> int:
+        """Number of distinct values in the column."""
+        if self._ctype is ColumnType.STRING:
+            return len(self.dictionary)
+        return int(np.unique(self._data).shape[0])
+
+    def min_max(self) -> tuple[Any, Any]:
+        """Minimum and maximum decoded value (empty columns raise)."""
+        if len(self) == 0:
+            raise SchemaError("min_max of empty column")
+        if self._ctype is ColumnType.STRING:
+            values = self.values()
+            return min(values), max(values)
+        return self.value(int(np.argmin(self._data))), self.value(int(np.argmax(self._data)))
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _apply_comparison(data: np.ndarray, op: str, literal: Any) -> np.ndarray:
+    try:
+        fn = _COMPARATORS[op]
+    except KeyError as exc:
+        raise SchemaError(f"unsupported comparison operator {op!r}") from exc
+    return np.asarray(fn(data, literal), dtype=bool)
+
+
+def _infer_type(values: Sequence[Any] | np.ndarray) -> ColumnType:
+    if isinstance(values, np.ndarray):
+        if np.issubdtype(values.dtype, np.integer):
+            return ColumnType.INT
+        if np.issubdtype(values.dtype, np.floating):
+            return ColumnType.FLOAT
+        return ColumnType.STRING
+    for value in values:
+        if isinstance(value, bool):
+            return ColumnType.INT
+        if isinstance(value, str):
+            return ColumnType.STRING
+        if isinstance(value, float) and not float(value).is_integer():
+            return ColumnType.FLOAT
+        if isinstance(value, float):
+            return ColumnType.FLOAT
+    return ColumnType.INT
+
+
+def _encode_strings(values: Sequence[Any]) -> tuple[np.ndarray, list[str], dict[str, int]]:
+    dictionary: list[str] = []
+    code_of: dict[str, int] = {}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        if not isinstance(value, str):
+            value = str(value)
+        code = code_of.get(value)
+        if code is None:
+            code = len(dictionary)
+            code_of[value] = code
+            dictionary.append(value)
+        codes[i] = code
+    return codes, dictionary, code_of
+
+
+def _from_physical(data: np.ndarray, ctype: ColumnType) -> Column:
+    column = Column.__new__(Column)
+    column._ctype = ctype
+    column._data = data
+    column._dictionary = None
+    column._code_of = None
+    return column

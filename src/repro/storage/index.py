@@ -1,0 +1,83 @@
+"""Hash indexes mapping column values to sorted row positions.
+
+Two consumers rely on these indexes:
+
+* the traditional executor's hash-join operator, which probes the index of
+  the inner table for each outer value, and
+* Skinner-C's multi-way join, which uses :meth:`HashIndex.next_position` to
+  "jump" the tuple index of a table directly to the next row satisfying all
+  applicable equality predicates (paper §4.5, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.storage.column import Column
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class HashIndex:
+    """Hash index over a single column.
+
+    The index maps each physical column value (dictionary code for strings)
+    to the ascending array of row positions holding that value.
+    """
+
+    def __init__(self, column: Column) -> None:
+        self._column = column
+        buckets: dict[Any, list[int]] = {}
+        data = column.data
+        for position in range(len(column)):
+            buckets.setdefault(data[position].item(), []).append(position)
+        self._buckets: dict[Any, np.ndarray] = {
+            value: np.asarray(positions, dtype=np.int64)
+            for value, positions in buckets.items()
+        }
+
+    @property
+    def column(self) -> Column:
+        """The indexed column."""
+        return self._column
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def positions(self, value: Any, *, encoded: bool = False) -> np.ndarray:
+        """Row positions whose column value equals ``value``.
+
+        Parameters
+        ----------
+        value:
+            The lookup key.  By default it is a decoded (user-level) value and
+            is translated via :meth:`Column.encode`; pass ``encoded=True`` when
+            the caller already holds a physical value (e.g. taken from another
+            column's ``data`` array during a join).
+        """
+        key = value if encoded else self._column.encode(value)
+        if hasattr(key, "item"):
+            key = key.item()
+        return self._buckets.get(key, _EMPTY)
+
+    def next_position(self, value: Any, min_position: int, *, encoded: bool = True) -> int | None:
+        """Smallest row position ``>= min_position`` holding ``value``.
+
+        Returns ``None`` if no such row exists.  This is the "jump" primitive
+        used by the hash-accelerated multi-way join: instead of advancing the
+        tuple index one row at a time, Skinner-C jumps to the next row that
+        can satisfy the applicable equality predicates.
+        """
+        positions = self.positions(value, encoded=encoded)
+        if positions.shape[0] == 0:
+            return None
+        i = int(np.searchsorted(positions, min_position, side="left"))
+        if i >= positions.shape[0]:
+            return None
+        return int(positions[i])
+
+    def count(self, value: Any, *, encoded: bool = False) -> int:
+        """Number of rows holding ``value``."""
+        return int(self.positions(value, encoded=encoded).shape[0])

@@ -1,0 +1,54 @@
+"""Nodes of the materialized UCT search tree."""
+
+from __future__ import annotations
+
+
+class UctNode:
+    """One materialized node of the UCT tree.
+
+    A node represents a join-order prefix.  Outgoing edges are labelled with
+    the table alias chosen next; only edges that have been expanded carry a
+    child node (the tree grows by at most one node per round).
+    """
+
+    __slots__ = ("prefix", "visits", "reward_sum", "children")
+
+    def __init__(self, prefix: tuple[str, ...]) -> None:
+        self.prefix = prefix
+        self.visits = 0
+        self.reward_sum = 0.0
+        self.children: dict[str, UctNode] = {}
+
+    @property
+    def average_reward(self) -> float:
+        """Mean reward of all rounds that passed through this node."""
+        if self.visits == 0:
+            return 0.0
+        return self.reward_sum / self.visits
+
+    def child(self, action: str) -> "UctNode | None":
+        """The materialized child for ``action``, or ``None``."""
+        return self.children.get(action)
+
+    def add_child(self, action: str) -> "UctNode":
+        """Materialize (or return the existing) child for ``action``."""
+        node = self.children.get(action)
+        if node is None:
+            node = UctNode(self.prefix + (action,))
+            self.children[action] = node
+        return node
+
+    def update(self, reward: float) -> None:
+        """Record one visit with the given reward."""
+        self.visits += 1
+        self.reward_sum += reward
+
+    def subtree_size(self) -> int:
+        """Number of materialized nodes in this subtree (including self)."""
+        return 1 + sum(child.subtree_size() for child in self.children.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"UctNode(prefix={self.prefix}, visits={self.visits}, "
+            f"avg={self.average_reward:.3f}, children={len(self.children)})"
+        )

@@ -1,0 +1,153 @@
+"""The UCT search tree over join orders.
+
+Implements the two operations the paper's algorithms use as primitives
+(§4.2):
+
+* ``UctChoice(T)`` — :meth:`UctJoinTree.choose_order`: select a complete join
+  order by walking from the root, using UCB1 where node statistics exist,
+  random choices elsewhere, and materializing at most one new node.
+* ``RewardUpdate(T, j, r)`` — :meth:`UctJoinTree.update`: register the reward
+  observed for a join order in all materialized nodes on its path.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.query.join_graph import JoinGraph
+from repro.uct.node import UctNode
+from repro.uct.policy import DEFAULT_EXPLORATION_WEIGHT, ucb_score
+
+
+class UctJoinTree:
+    """A lazily materialized UCT tree over Cartesian-avoiding join orders."""
+
+    def __init__(
+        self,
+        join_graph: JoinGraph,
+        exploration_weight: float = DEFAULT_EXPLORATION_WEIGHT,
+        seed: int | None = None,
+    ) -> None:
+        self._graph = join_graph
+        self._weight = exploration_weight
+        self._rng = random.Random(seed)
+        self._root = UctNode(())
+        self._num_tables = len(join_graph.aliases)
+        self._selection_counts: dict[tuple[str, ...], int] = {}
+
+    # ------------------------------------------------------------------
+    # properties for analysis (Figures 7 and 8)
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> UctNode:
+        """The root node (empty join prefix)."""
+        return self._root
+
+    @property
+    def exploration_weight(self) -> float:
+        """The UCB1 exploration weight in use."""
+        return self._weight
+
+    def node_count(self) -> int:
+        """Number of materialized nodes (Figure 7a / 8a)."""
+        return self._root.subtree_size()
+
+    def selection_counts(self) -> dict[tuple[str, ...], int]:
+        """How often each complete join order was selected."""
+        return dict(self._selection_counts)
+
+    def top_orders(self, k: int) -> list[tuple[tuple[str, ...], int]]:
+        """The ``k`` most frequently selected join orders with their counts."""
+        ranked = sorted(self._selection_counts.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    # UctChoice
+    # ------------------------------------------------------------------
+    def choose_order(self) -> tuple[str, ...]:
+        """Select the join order to execute during the next time slice."""
+        prefix: list[str] = []
+        node: UctNode | None = self._root
+        expanded_this_round = False
+        while len(prefix) < self._num_tables:
+            eligible = self._graph.eligible_next(prefix)
+            if node is not None:
+                unexplored = [action for action in eligible if action not in node.children]
+                if unexplored:
+                    action = self._rng.choice(unexplored)
+                    if not expanded_this_round:
+                        node = node.add_child(action)
+                        expanded_this_round = True
+                    else:
+                        node = None
+                else:
+                    action = self._select_ucb(node, eligible)
+                    node = node.child(action)
+            else:
+                action = self._rng.choice(eligible)
+            prefix.append(action)
+        order = tuple(prefix)
+        self._selection_counts[order] = self._selection_counts.get(order, 0) + 1
+        return order
+
+    def _select_ucb(self, node: UctNode, eligible: Sequence[str]) -> str:
+        parent_visits = max(1, node.visits)
+        best_action = eligible[0]
+        best_score = -float("inf")
+        for action in eligible:
+            child = node.child(action)
+            assert child is not None  # caller ensured all eligible are materialized
+            score = ucb_score(child.average_reward, child.visits, parent_visits, self._weight)
+            if score > best_score:
+                best_score = score
+                best_action = action
+        return best_action
+
+    # ------------------------------------------------------------------
+    # RewardUpdate
+    # ------------------------------------------------------------------
+    def update(self, order: Sequence[str], reward: float) -> None:
+        """Register ``reward`` for ``order`` in all materialized path nodes."""
+        if not 0.0 <= reward <= 1.0:
+            reward = min(1.0, max(0.0, reward))
+        node = self._root
+        node.update(reward)
+        for action in order:
+            child = node.child(action)
+            if child is None:
+                break
+            child.update(reward)
+            node = child
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def best_order(self) -> tuple[str, ...]:
+        """The join order the tree currently considers best (greedy descent).
+
+        Follows the child with the highest average reward at every level,
+        falling back to the most visited child and finally to a random
+        eligible action where the tree is not materialized.  This is the
+        "final join order selected by Skinner" used in Tables 3 and 4.
+        """
+        prefix: list[str] = []
+        node: UctNode | None = self._root
+        while len(prefix) < self._num_tables:
+            eligible = self._graph.eligible_next(prefix)
+            action: str
+            if node is not None and node.children:
+                visited = [a for a in eligible if node.child(a) is not None]
+                if visited:
+                    action = max(
+                        visited,
+                        key=lambda a: (node.child(a).average_reward, node.child(a).visits),
+                    )
+                else:
+                    action = self._rng.choice(eligible)
+                node = node.child(action)
+            else:
+                action = self._rng.choice(eligible)
+                node = None
+            prefix.append(action)
+        return tuple(prefix)

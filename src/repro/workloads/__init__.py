@@ -1,0 +1,35 @@
+"""Benchmark workloads used in the paper's evaluation.
+
+* :mod:`~repro.workloads.job` — a synthetic analogue of the Join Order
+  Benchmark: a snowflake schema with correlated, skewed data and a query mix
+  in which a handful of queries have catastrophically misestimated plans.
+* :mod:`~repro.workloads.tpch` — a scaled-down TPC-H schema and generator
+  with simplified forms of the ten queries evaluated in the paper, plus the
+  variant replacing unary predicates with opaque UDFs.
+* :mod:`~repro.workloads.torture` — the Optimizer Torture micro-benchmarks:
+  UDF Torture, Correlation Torture, and the Trivial Optimization benchmark.
+* :mod:`~repro.workloads.generators` — shared random-data helpers (Zipfian
+  keys, correlated columns).
+
+Every workload returns a :class:`~repro.workloads.generators.Workload`
+bundle: a catalog, a UDF registry, and a list of named queries.
+"""
+
+from repro.workloads.generators import Workload, WorkloadQuery
+from repro.workloads.job import make_job_workload
+from repro.workloads.torture import (
+    make_correlation_torture,
+    make_trivial_workload,
+    make_udf_torture,
+)
+from repro.workloads.tpch import make_tpch_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "make_correlation_torture",
+    "make_job_workload",
+    "make_tpch_workload",
+    "make_trivial_workload",
+    "make_udf_torture",
+]

@@ -1,0 +1,251 @@
+"""Optimizer torture micro-benchmarks (appendix of the paper, after Wu et al.).
+
+Three families of synthetic corner cases:
+
+* **UDF Torture** — every join predicate is an opaque user-defined function.
+  Exactly one of them (the "good" predicate) is never satisfied, so a plan
+  that evaluates it early finishes immediately, while plans that defer it
+  explode through always-true joins.  Chain and star join graphs.
+* **Correlation Torture** — only standard equality/filter predicates, but
+  column correlations make the single truly selective filter look *less*
+  selective than the useless ones, so estimate-based optimizers defer it.
+  Parameter ``m`` places the good table at the head or middle of the chain.
+* **Trivial Optimization** — all join orders avoiding Cartesian products are
+  equivalent; it measures the pure overhead of adaptive processing when
+  optimization is not needed.
+
+All generators return :class:`~repro.workloads.generators.Workload` bundles
+and keep table sizes small enough for pure-Python execution; the benchmark
+harness applies work budgets ("timeouts") exactly like the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.query.expressions import ColumnRef, FunctionCall, Star
+from repro.query.predicates import Predicate, column_compare_literal, column_equals_column
+from repro.query.query import AggregateSpec, Query, SelectItem
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.generators import Workload, WorkloadQuery, make_rng, uniform_keys
+
+
+def _count_star() -> tuple[SelectItem, ...]:
+    return (SelectItem(aggregate=AggregateSpec("count", Star()), alias="matches"),)
+
+
+# ----------------------------------------------------------------------
+# UDF torture
+# ----------------------------------------------------------------------
+def make_udf_torture(
+    num_tables: int,
+    tuples_per_table: int = 100,
+    *,
+    shape: str = "chain",
+    good_position: int | None = None,
+    seed: int = 7,
+) -> Workload:
+    """UDF Torture: one always-false UDF join predicate among always-true ones.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of joined tables (the paper sweeps 4-10).
+    tuples_per_table:
+        Rows per table (the paper uses 100).
+    shape:
+        ``"chain"`` (t1-t2-...-tn) or ``"star"`` (t1 joined with every other).
+    good_position:
+        Index of the join edge carrying the good (never satisfied) predicate;
+        defaults to the last edge, the worst case for a left-to-right plan.
+    """
+    if shape not in ("chain", "star"):
+        raise ValueError("shape must be 'chain' or 'star'")
+    if num_tables < 2:
+        raise ValueError("UDF torture needs at least two tables")
+    rng = make_rng(seed)
+    catalog = Catalog()
+    aliases = [f"t{i}" for i in range(1, num_tables + 1)]
+    for alias in aliases:
+        catalog.add_table(Table(alias, {
+            "id": list(range(tuples_per_table)),
+            "val": uniform_keys(rng, tuples_per_table, 50).tolist(),
+        }))
+
+    workload = Workload(
+        name=f"udf-torture-{shape}-{num_tables}",
+        catalog=catalog,
+        parameters={
+            "num_tables": num_tables,
+            "tuples_per_table": tuples_per_table,
+            "shape": shape,
+        },
+    )
+    # Both UDFs look identical to an optimizer (same cost, same hint).
+    workload.udfs.register("udf_bad", lambda a, b: True, cost=2, selectivity_hint=0.5)
+    workload.udfs.register("udf_good", lambda a, b: False, cost=2, selectivity_hint=0.5)
+
+    edges = _edges(aliases, shape)
+    good_index = (len(edges) - 1) if good_position is None else good_position
+    good_index = max(0, min(good_index, len(edges) - 1))
+    predicates: list[Predicate] = []
+    for index, (left, right) in enumerate(edges):
+        udf_name = "udf_good" if index == good_index else "udf_bad"
+        predicates.append(Predicate(FunctionCall(
+            udf_name, (ColumnRef(left, "val"), ColumnRef(right, "val")),
+        )))
+    query = Query(
+        tables=tuple((alias, alias) for alias in aliases),
+        predicates=tuple(predicates),
+        select_items=_count_star(),
+    )
+    workload.queries.append(WorkloadQuery(
+        name=f"udf_{shape}_{num_tables}",
+        query=query,
+        description=f"UDF torture, {shape}, {num_tables} tables",
+        tags=("udf-torture", shape),
+    ))
+    return workload
+
+
+def _edges(aliases: list[str], shape: str) -> list[tuple[str, str]]:
+    if shape == "chain":
+        return [(aliases[i], aliases[i + 1]) for i in range(len(aliases) - 1)]
+    return [(aliases[0], alias) for alias in aliases[1:]]
+
+
+# ----------------------------------------------------------------------
+# correlation torture
+# ----------------------------------------------------------------------
+def make_correlation_torture(
+    num_tables: int,
+    tuples_per_table: int = 200,
+    *,
+    good_position: int = 1,
+    fanout: int = 6,
+    seed: int = 11,
+) -> Workload:
+    """Correlation Torture: correlated filters hide the truly selective table.
+
+    Every table carries the filter ``a = 1 AND b = 1``.  In all tables except
+    the one at ``good_position`` the two columns are perfectly correlated
+    (actual selectivity 1/3, estimated 1/9); in the good table they are
+    anti-correlated (actual selectivity 0, estimated 1/4).  An estimate-based
+    optimizer therefore defers the good table to the end of the chain, where
+    the Zipf-free but fan-out ``fanout`` equality joins have already blown up
+    the intermediate results.
+
+    Parameters
+    ----------
+    good_position:
+        1-based position of the good table within the chain (the paper's
+        ``m``; 1 = head of the chain, ``num_tables // 2`` = middle).
+    """
+    if num_tables < 2:
+        raise ValueError("correlation torture needs at least two tables")
+    good_position = max(1, min(good_position, num_tables))
+    rng = make_rng(seed)
+    catalog = Catalog()
+    aliases = [f"r{i}" for i in range(1, num_tables + 1)]
+    num_keys = max(1, tuples_per_table // fanout)
+    for position, alias in enumerate(aliases, start=1):
+        key_in = uniform_keys(rng, tuples_per_table, num_keys)
+        key_out = uniform_keys(rng, tuples_per_table, num_keys)
+        if position == good_position:
+            a = uniform_keys(rng, tuples_per_table, 2)
+            b = 1 - a  # anti-correlated: a = 1 AND b = 1 never holds
+        else:
+            a = uniform_keys(rng, tuples_per_table, 3)
+            b = a.copy()  # perfectly correlated: the conjunction is not selective
+        catalog.add_table(Table(alias, {
+            "key_in": key_in.tolist(),
+            "key_out": key_out.tolist(),
+            "a": a.tolist(),
+            "b": b.tolist(),
+        }))
+
+    predicates: list[Predicate] = []
+    for i in range(num_tables - 1):
+        predicates.append(
+            column_equals_column(aliases[i], "key_out", aliases[i + 1], "key_in")
+        )
+    for alias in aliases:
+        predicates.append(column_compare_literal(alias, "a", "=", 1))
+        predicates.append(column_compare_literal(alias, "b", "=", 1))
+
+    workload = Workload(
+        name=f"correlation-torture-{num_tables}-m{good_position}",
+        catalog=catalog,
+        parameters={
+            "num_tables": num_tables,
+            "tuples_per_table": tuples_per_table,
+            "good_position": good_position,
+            "fanout": fanout,
+        },
+    )
+    query = Query(
+        tables=tuple((alias, alias) for alias in aliases),
+        predicates=tuple(predicates),
+        select_items=_count_star(),
+    )
+    workload.queries.append(WorkloadQuery(
+        name=f"corr_{num_tables}_m{good_position}",
+        query=query,
+        description=f"correlation torture, {num_tables} tables, m={good_position}",
+        tags=("correlation-torture",),
+    ))
+    return workload
+
+
+# ----------------------------------------------------------------------
+# trivial optimization benchmark
+# ----------------------------------------------------------------------
+def make_trivial_workload(
+    num_tables: int,
+    tuples_per_table: int = 250,
+    *,
+    fanout: int = 1,
+    seed: int = 23,
+) -> Workload:
+    """Trivial Optimization: every Cartesian-avoiding plan is equivalent.
+
+    A chain of uniform equality joins with identical key distributions and no
+    filters: all join orders produce the same intermediate sizes, so any
+    exploration is pure overhead.  Used for Figure 12.
+    """
+    if num_tables < 2:
+        raise ValueError("trivial benchmark needs at least two tables")
+    rng = make_rng(seed)
+    catalog = Catalog()
+    aliases = [f"u{i}" for i in range(1, num_tables + 1)]
+    num_keys = max(1, tuples_per_table // fanout)
+    shared_key_pool = list(range(num_keys))
+    for alias in aliases:
+        key_in = rng.choice(shared_key_pool, size=tuples_per_table)
+        key_out = rng.choice(shared_key_pool, size=tuples_per_table)
+        catalog.add_table(Table(alias, {
+            "key_in": key_in.tolist(),
+            "key_out": key_out.tolist(),
+            "payload": uniform_keys(rng, tuples_per_table, 100).tolist(),
+        }))
+    predicates = [
+        column_equals_column(aliases[i], "key_out", aliases[i + 1], "key_in")
+        for i in range(num_tables - 1)
+    ]
+    workload = Workload(
+        name=f"trivial-{num_tables}",
+        catalog=catalog,
+        parameters={"num_tables": num_tables, "tuples_per_table": tuples_per_table,
+                    "fanout": fanout},
+    )
+    query = Query(
+        tables=tuple((alias, alias) for alias in aliases),
+        predicates=tuple(predicates),
+        select_items=_count_star(),
+    )
+    workload.queries.append(WorkloadQuery(
+        name=f"trivial_{num_tables}",
+        query=query,
+        description=f"trivial optimization, {num_tables} tables",
+        tags=("trivial",),
+    ))
+    return workload

@@ -1,0 +1,144 @@
+"""Unit tests for the typed column implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.column import Column, ColumnType
+
+
+class TestTypeInference:
+    def test_integers(self):
+        assert Column([1, 2, 3]).ctype is ColumnType.INT
+
+    def test_floats(self):
+        assert Column([1.5, 2.0]).ctype is ColumnType.FLOAT
+
+    def test_whole_floats_stay_float(self):
+        assert Column([1.0, 2.0]).ctype is ColumnType.FLOAT
+
+    def test_strings(self):
+        assert Column(["a", "b"]).ctype is ColumnType.STRING
+
+    def test_mixed_int_then_string_is_string(self):
+        column = Column(["x", "y", "z"])
+        assert column.ctype is ColumnType.STRING
+
+    def test_numpy_int_array(self):
+        assert Column(np.array([1, 2, 3])).ctype is ColumnType.INT
+
+    def test_numpy_float_array(self):
+        assert Column(np.array([1.0, 2.5])).ctype is ColumnType.FLOAT
+
+    def test_explicit_type_overrides_inference(self):
+        column = Column([1, 2, 3], ColumnType.FLOAT)
+        assert column.ctype is ColumnType.FLOAT
+        assert column.value(0) == 1.0
+
+
+class TestValueAccess:
+    def test_int_values(self):
+        column = Column([5, 7, 9])
+        assert column.value(1) == 7
+        assert column.values() == [5, 7, 9]
+
+    def test_string_round_trip(self):
+        column = Column(["apple", "pear", "apple"])
+        assert column.values() == ["apple", "pear", "apple"]
+
+    def test_string_dictionary_is_deduplicated(self):
+        column = Column(["a", "b", "a", "a", "c"])
+        assert sorted(column.dictionary) == ["a", "b", "c"]
+        assert column.distinct_count() == 3
+
+    def test_dictionary_of_numeric_column_raises(self):
+        with pytest.raises(SchemaError):
+            _ = Column([1, 2]).dictionary
+
+    def test_len(self):
+        assert len(Column([1, 2, 3, 4])) == 4
+
+    def test_empty_column(self):
+        column = Column([])
+        assert len(column) == 0
+        with pytest.raises(SchemaError):
+            column.min_max()
+
+
+class TestEncoding:
+    def test_encode_known_string(self):
+        column = Column(["x", "y"])
+        code = column.encode("y")
+        assert column.raw(1) == code
+
+    def test_encode_unknown_string_returns_sentinel(self):
+        assert Column(["x", "y"]).encode("missing") == -1
+
+    def test_encode_numeric_passthrough(self):
+        assert Column([1, 2, 3]).encode(2) == 2
+
+    def test_encode_non_string_against_string_column_raises(self):
+        with pytest.raises(SchemaError):
+            Column(["x"]).encode(5)
+
+
+class TestComparisons:
+    def test_int_equality_mask(self):
+        mask = Column([1, 2, 2, 3]).compare("=", 2)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_int_range_mask(self):
+        mask = Column([1, 2, 3, 4]).compare(">=", 3)
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_not_equal(self):
+        mask = Column([1, 2, 1]).compare("!=", 1)
+        assert mask.tolist() == [False, True, False]
+
+    def test_string_equality(self):
+        mask = Column(["a", "b", "a"]).compare("=", "a")
+        assert mask.tolist() == [True, False, True]
+
+    def test_string_equality_unknown_literal(self):
+        mask = Column(["a", "b"]).compare("=", "zzz")
+        assert mask.tolist() == [False, False]
+
+    def test_string_ordering_comparison(self):
+        mask = Column(["apple", "banana", "cherry"]).compare("<", "banana")
+        assert mask.tolist() == [True, False, False]
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(SchemaError):
+            Column([1]).compare("LIKE", 1)
+
+    def test_isin_int(self):
+        mask = Column([1, 2, 3, 4]).isin([2, 4])
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_isin_string(self):
+        mask = Column(["a", "b", "c"]).isin(["c", "zz"])
+        assert mask.tolist() == [False, False, True]
+
+
+class TestBulkOperations:
+    def test_take_reorders(self):
+        column = Column([10, 20, 30]).take([2, 0])
+        assert column.values() == [30, 10]
+
+    def test_take_string(self):
+        column = Column(["a", "b", "c"]).take(np.array([1, 1]))
+        assert column.values() == ["b", "b"]
+
+    def test_min_max_int(self):
+        assert Column([5, 1, 9]).min_max() == (1, 9)
+
+    def test_min_max_string(self):
+        assert Column(["pear", "apple"]).min_max() == ("apple", "pear")
+
+    def test_distinct_count_int(self):
+        assert Column([1, 1, 2, 2, 2, 3]).distinct_count() == 3
+
+    def test_equality_of_columns(self):
+        assert Column([1, 2]) == Column([1, 2])
+        assert Column([1, 2]) != Column([2, 1])
+        assert Column(["a"]) != Column([1])

@@ -1,0 +1,113 @@
+"""Tests for the SkinnerDB facade (SQL in, results out, every engine)."""
+
+import pytest
+
+from repro import ENGINE_NAMES, ReproError, SkinnerDB, SkinnerConfig
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+FAST = SkinnerConfig(slice_budget=64, batches_per_table=3, base_timeout=200)
+
+
+@pytest.fixture
+def db() -> SkinnerDB:
+    db = SkinnerDB(config=FAST)
+    db.create_table("dept", {
+        "did": [1, 2, 3],
+        "dname": ["eng", "ops", "hr"],
+    })
+    db.create_table("emp", {
+        "eid": [1, 2, 3, 4, 5, 6],
+        "did": [1, 1, 2, 3, 2, 1],
+        "salary": [100, 120, 90, 80, 95, 130],
+    })
+    return db
+
+
+class TestSchemaManagement:
+    def test_create_and_query_table(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM emp")
+        assert result.rows[0]["n"] == 6
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("emp", {"x": [1]})
+        db.create_table("emp", {"x": [1]}, replace=True)
+
+    def test_add_existing_table_object(self, db):
+        db.add_table(Table("extra", {"a": [1, 2]}))
+        assert db.execute("SELECT COUNT(*) AS n FROM extra").rows[0]["n"] == 2
+
+    def test_load_csv(self, db, tmp_path):
+        path = tmp_path / "cities.csv"
+        path.write_text("city,pop\nrome,3\noslo,1\n")
+        db.load_csv(path)
+        assert db.execute("SELECT COUNT(*) AS n FROM cities").rows[0]["n"] == 2
+
+    def test_statistics_cached_and_refreshed(self, db):
+        first = db.statistics()
+        assert db.statistics() is first
+        db.create_table("later", {"x": [1]})
+        assert db.statistics() is not first
+
+
+class TestQueryExecution:
+    JOIN_SQL = (
+        "SELECT d.dname AS dname, SUM(e.salary) AS total FROM emp e, dept d "
+        "WHERE e.did = d.did GROUP BY d.dname ORDER BY d.dname"
+    )
+
+    def test_every_engine_answers_the_join(self, db):
+        expected = {"eng": 350, "hr": 80, "ops": 185}
+        for engine in ENGINE_NAMES:
+            result = db.execute(self.JOIN_SQL, engine=engine)
+            totals = {row["dname"]: row["total"] for row in result.rows}
+            assert totals == expected, engine
+
+    def test_unknown_engine_rejected(self, db):
+        with pytest.raises(ReproError):
+            db.execute("SELECT * FROM emp", engine="sqlite")
+
+    def test_query_object_accepted(self, db):
+        query = db.parse("SELECT e.salary FROM emp e WHERE e.salary > 100")
+        assert len(db.execute(query)) == 2
+
+    def test_forced_order_on_traditional(self, db):
+        result = db.execute(self.JOIN_SQL, engine="traditional", forced_order=("d", "e"))
+        assert result.metrics.final_join_order == ("d", "e")
+
+    def test_metrics_describe_is_readable(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM emp", engine="skinner-c")
+        text = result.metrics.describe()
+        assert "skinner-c" in text
+
+    def test_order_by_and_limit_via_sql(self, db):
+        result = db.execute(
+            "SELECT e.eid, e.salary FROM emp e ORDER BY e.salary DESC LIMIT 2"
+        )
+        assert [row["salary"] for row in result.rows] == [130, 120]
+
+    def test_distinct_via_sql(self, db):
+        result = db.execute("SELECT DISTINCT e.did FROM emp e")
+        assert sorted(row["did"] for row in result.rows) == [1, 2, 3]
+
+
+class TestUdfs:
+    def test_register_and_use_in_sql(self, db):
+        db.register_udf("well_paid", lambda s: s >= 100)
+        result = db.execute("SELECT COUNT(*) AS n FROM emp e WHERE well_paid(e.salary)")
+        assert result.rows[0]["n"] == 3
+
+    def test_udf_join_predicate_all_engines(self, db):
+        db.register_udf("match_dept", lambda a, b: a == b)
+        sql = (
+            "SELECT COUNT(*) AS n FROM emp e, dept d WHERE match_dept(e.did, d.did)"
+        )
+        for engine in ENGINE_NAMES:
+            assert db.execute(sql, engine=engine).rows[0]["n"] == 6, engine
+
+    def test_duplicate_udf_rejected(self, db):
+        db.register_udf("f", lambda: 1)
+        with pytest.raises(CatalogError):
+            db.register_udf("f", lambda: 2)
+        db.register_udf("f", lambda: 2, replace=True)

@@ -1,0 +1,240 @@
+"""Integration tests: every engine produces correct results and sane metrics."""
+
+import pytest
+
+from repro.baselines.eddy import EddyEngine
+from repro.baselines.random_order import make_random_order_engine, random_skinner_config
+from repro.baselines.reoptimizer import ReOptimizerEngine
+from repro.baselines.traditional import TraditionalEngine
+from repro.config import DEFAULT_CONFIG
+from repro.query.expressions import ColumnRef, Star
+from repro.query.predicates import column_compare_literal, column_equals_column, udf_predicate
+from repro.query.query import AggregateSpec, SelectItem, make_query
+from repro.query.udf import UdfRegistry
+from repro.skinner.skinner_c import SkinnerC
+from repro.skinner.skinner_g import SkinnerG
+from repro.skinner.skinner_h import SkinnerH
+from tests.conftest import reference_join_count, reference_join_tuples, result_multiset
+
+FAST_CONFIG = DEFAULT_CONFIG.with_overrides(
+    slice_budget=64, batches_per_table=3, base_timeout=200
+)
+
+
+def all_engines(catalog, udfs=None):
+    """One instance of every engine, all sharing the same catalog."""
+    return {
+        "skinner-c": SkinnerC(catalog, udfs, FAST_CONFIG),
+        "skinner-g": SkinnerG(catalog, udfs, FAST_CONFIG),
+        "skinner-h": SkinnerH(catalog, udfs, FAST_CONFIG),
+        "traditional": TraditionalEngine(catalog, udfs),
+        "eddy": EddyEngine(catalog, udfs),
+        "reoptimizer": ReOptimizerEngine(catalog, udfs),
+    }
+
+
+class TestCrossEngineCorrectness:
+    def test_join_query_counts_agree_with_oracle(self, tiny_catalog, tiny_join_query):
+        expected = reference_join_count(tiny_catalog, tiny_join_query)
+        query = make_query(
+            tiny_join_query.tables,
+            predicates=tiny_join_query.predicates,
+            select_items=[SelectItem(aggregate=AggregateSpec("count", Star()), alias="n")],
+        )
+        for name, engine in all_engines(tiny_catalog).items():
+            result = engine.execute(query)
+            assert result.rows[0]["n"] == expected, f"{name} returned a wrong count"
+
+    def test_projection_rows_identical_across_engines(self, tiny_catalog):
+        query = make_query(
+            [("c", "customers"), ("o", "orders")],
+            predicates=[column_equals_column("c", "cid", "o", "cid"),
+                        column_compare_literal("o", "amount", ">", 90)],
+            select_items=[SelectItem(expression=ColumnRef("c", "country"), alias="country"),
+                          SelectItem(expression=ColumnRef("o", "amount"), alias="amount")],
+        )
+        reference = None
+        for name, engine in all_engines(tiny_catalog).items():
+            rows = result_multiset(engine.execute(query))
+            if reference is None:
+                reference = rows
+            assert rows == reference, f"{name} disagrees on projected rows"
+
+    def test_udf_join_query_across_engines(self, tiny_catalog):
+        udfs = UdfRegistry()
+        udfs.register("same_parity", lambda a, b: a % 2 == b % 2)
+        query = make_query(
+            [("c", "customers"), ("o", "orders")],
+            predicates=[udf_predicate("same_parity", ("c", "cid"), ("o", "oid"))],
+            select_items=[SelectItem(aggregate=AggregateSpec("count", Star()), alias="n")],
+        )
+        expected = len(reference_join_tuples(tiny_catalog, query, udfs))
+        for name, engine in all_engines(tiny_catalog, udfs).items():
+            assert engine.execute(query).rows[0]["n"] == expected, name
+
+    def test_single_table_query(self, tiny_catalog):
+        query = make_query(
+            [("o", "orders")],
+            predicates=[column_compare_literal("o", "amount", ">=", 100)],
+            select_items=[SelectItem(aggregate=AggregateSpec("count", Star()), alias="n")],
+        )
+        for name, engine in all_engines(tiny_catalog).items():
+            assert engine.execute(query).rows[0]["n"] == 4, name
+
+    def test_empty_result_query(self, tiny_catalog):
+        query = make_query(
+            [("c", "customers"), ("o", "orders")],
+            predicates=[column_equals_column("c", "cid", "o", "cid"),
+                        column_compare_literal("c", "country", "=", "xx")],
+            select_items=[SelectItem(aggregate=AggregateSpec("count", Star()), alias="n")],
+        )
+        for name, engine in all_engines(tiny_catalog).items():
+            assert engine.execute(query).rows[0]["n"] == 0, name
+
+    def test_group_by_across_engines(self, tiny_catalog):
+        query = make_query(
+            [("c", "customers"), ("o", "orders")],
+            predicates=[column_equals_column("c", "cid", "o", "cid")],
+            select_items=[
+                SelectItem(expression=ColumnRef("c", "country"), alias="country"),
+                SelectItem(aggregate=AggregateSpec("sum", ColumnRef("o", "amount")), alias="total"),
+            ],
+            group_by=[ColumnRef("c", "country")],
+        )
+        reference = None
+        for name, engine in all_engines(tiny_catalog).items():
+            rows = result_multiset(engine.execute(query))
+            if reference is None:
+                reference = rows
+            assert rows == reference, f"{name} disagrees on grouped result"
+
+
+class TestSkinnerC:
+    def test_metrics_populated(self, tiny_catalog, tiny_join_query):
+        result = SkinnerC(tiny_catalog, config=FAST_CONFIG).execute(tiny_join_query)
+        metrics = result.metrics
+        assert metrics.engine == "skinner-c"
+        assert metrics.time_slices >= 1
+        assert metrics.uct_nodes >= 1
+        assert metrics.final_join_order is not None
+        assert metrics.simulated_time > 0
+        assert metrics.result_tuple_count == reference_join_count(tiny_catalog, tiny_join_query)
+
+    def test_trace_collection(self, tiny_catalog, tiny_join_query):
+        result = SkinnerC(tiny_catalog, config=FAST_CONFIG).execute(tiny_join_query, trace=True)
+        trace = result.metrics.extra["trace"]
+        assert len(trace) == result.metrics.time_slices
+        assert all("uct_nodes" in entry for entry in trace)
+
+    @pytest.mark.parametrize("overrides", [
+        {"use_hash_jump": False},
+        {"share_progress": False},
+        {"use_offsets": False},
+        {"reward_function": "leftmost"},
+        {"order_selection": "random"},
+        {"use_hash_jump": False, "share_progress": False, "use_offsets": False},
+    ])
+    def test_ablations_preserve_correctness(self, tiny_catalog, tiny_join_query, overrides):
+        config = FAST_CONFIG.with_overrides(**overrides)
+        result = SkinnerC(tiny_catalog, config=config).execute(tiny_join_query)
+        assert result.metrics.result_tuple_count == reference_join_count(
+            tiny_catalog, tiny_join_query
+        )
+
+    def test_execute_with_forced_order(self, tiny_catalog, tiny_join_query):
+        engine = SkinnerC(tiny_catalog, config=FAST_CONFIG)
+        for order in (("c", "o", "i"), ("i", "o", "c")):
+            result = engine.execute_with_order(tiny_join_query, order)
+            assert result.metrics.result_tuple_count == reference_join_count(
+                tiny_catalog, tiny_join_query
+            )
+            assert result.metrics.final_join_order == order
+
+    def test_invalid_order_selection_rejected(self, tiny_catalog):
+        with pytest.raises(ValueError):
+            SkinnerC(tiny_catalog, order_selection="psychic")
+
+
+class TestSkinnerG:
+    def test_uses_pyramid_timeouts(self, tiny_catalog, tiny_join_query):
+        result = SkinnerG(tiny_catalog, config=FAST_CONFIG).execute(tiny_join_query)
+        levels = result.metrics.extra["timeout_levels"]
+        assert levels and 0 in levels
+        assert result.metrics.time_slices >= 1
+
+    def test_name_includes_profile(self, tiny_catalog):
+        assert "postgres" in SkinnerG(tiny_catalog, dbms_profile="postgres").name
+        assert "monetdb" in SkinnerG(tiny_catalog, dbms_profile="monetdb").name
+
+
+class TestSkinnerH:
+    def test_reports_winner(self, tiny_catalog, tiny_join_query):
+        result = SkinnerH(tiny_catalog, config=FAST_CONFIG).execute(tiny_join_query)
+        assert result.metrics.extra["winner"] in ("traditional", "learning")
+        assert result.metrics.extra["rounds"] >= 0
+
+    def test_bounded_overhead_versus_traditional(self, tiny_catalog, tiny_join_query):
+        traditional = TraditionalEngine(tiny_catalog).execute(tiny_join_query)
+        hybrid = SkinnerH(tiny_catalog, config=FAST_CONFIG).execute(tiny_join_query)
+        # Theorem 5.8: the hybrid is at most a constant factor slower than the
+        # traditional optimizer; allow generous slack for the tiny input.
+        assert hybrid.metrics.work.total <= 25 * max(traditional.metrics.work.total, 1)
+
+
+class TestTraditionalEngine:
+    def test_forced_order_changes_plan(self, tiny_catalog, tiny_join_query):
+        engine = TraditionalEngine(tiny_catalog)
+        default = engine.execute(tiny_join_query)
+        forced = engine.execute(tiny_join_query, forced_order=("i", "o", "c"))
+        assert forced.metrics.final_join_order == ("i", "o", "c")
+        assert forced.table.num_rows == default.table.num_rows
+
+    def test_work_budget_times_out(self, tiny_catalog, tiny_join_query):
+        engine = TraditionalEngine(tiny_catalog)
+        result = engine.execute(tiny_join_query, work_budget=3)
+        assert result.metrics.extra["timed_out"]
+        assert result.table.num_rows == 0
+
+    def test_plan_exposes_cost(self, tiny_catalog, tiny_join_query):
+        plan = TraditionalEngine(tiny_catalog).plan(tiny_join_query)
+        assert plan.cost > 0
+        assert sorted(plan.order) == ["c", "i", "o"]
+
+    def test_invalid_optimizer_rejected(self, tiny_catalog):
+        with pytest.raises(ValueError):
+            TraditionalEngine(tiny_catalog, optimizer="quantum")
+
+
+class TestRandomOrderBaseline:
+    def test_factory_variants(self, tiny_catalog, tiny_join_query):
+        expected = reference_join_count(tiny_catalog, tiny_join_query)
+        for variant in ("skinner-c", "skinner-g", "skinner-h"):
+            engine = make_random_order_engine(variant, tiny_catalog, config=FAST_CONFIG)
+            count_query = make_query(
+                tiny_join_query.tables,
+                predicates=tiny_join_query.predicates,
+                select_items=[SelectItem(aggregate=AggregateSpec("count", Star()), alias="n")],
+            )
+            assert engine.execute(count_query).rows[0]["n"] == expected, variant
+
+    def test_unknown_variant_rejected(self, tiny_catalog):
+        with pytest.raises(ValueError):
+            make_random_order_engine("skinner-z", tiny_catalog)
+
+    def test_random_config_flag(self):
+        assert random_skinner_config().order_selection == "random"
+
+
+class TestReOptimizer:
+    def test_records_rounds(self, tiny_catalog, tiny_join_query):
+        result = ReOptimizerEngine(tiny_catalog).execute(tiny_join_query)
+        assert result.metrics.extra["reoptimization_rounds"] >= 0
+        assert result.metrics.engine == "reoptimizer"
+
+    def test_corrections_on_misleading_data(self):
+        from repro.workloads.torture import make_correlation_torture
+
+        workload = make_correlation_torture(3, 60, good_position=2)
+        engine = ReOptimizerEngine(workload.catalog, workload.udfs)
+        result = engine.execute(workload.queries[0].query)
+        assert result.rows[0]["matches"] == 0

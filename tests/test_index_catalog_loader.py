@@ -1,0 +1,137 @@
+"""Unit tests for hash indexes, the catalog, and CSV loading."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.index import HashIndex
+from repro.storage.loader import load_csv, save_csv
+from repro.storage.table import Table
+
+
+class TestHashIndex:
+    def test_positions_for_int_values(self):
+        index = HashIndex(Column([5, 7, 5, 9, 5]))
+        assert index.positions(5).tolist() == [0, 2, 4]
+        assert index.positions(9).tolist() == [3]
+
+    def test_positions_missing_value(self):
+        index = HashIndex(Column([1, 2]))
+        assert index.positions(99).tolist() == []
+
+    def test_positions_for_strings_decoded(self):
+        index = HashIndex(Column(["a", "b", "a"]))
+        assert index.positions("a").tolist() == [0, 2]
+
+    def test_next_position_jumps_forward(self):
+        index = HashIndex(Column([4, 4, 8, 4, 8]))
+        assert index.next_position(4, 1) == 1
+        assert index.next_position(4, 2) == 3
+        assert index.next_position(4, 4) is None
+
+    def test_next_position_missing_value(self):
+        index = HashIndex(Column([1, 2, 3]))
+        assert index.next_position(42, 0) is None
+
+    def test_count(self):
+        index = HashIndex(Column([1, 1, 2]))
+        assert index.count(1) == 2
+        assert index.count(3) == 0
+
+    def test_len_is_distinct_values(self):
+        assert len(HashIndex(Column([1, 1, 2, 3]))) == 3
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1]}))
+        assert catalog.table("t").num_rows == 1
+        assert catalog.has_table("t")
+        assert catalog.table_names() == ["t"]
+        assert len(catalog) == 1
+
+    def test_duplicate_add_raises(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1]}))
+        with pytest.raises(CatalogError):
+            catalog.add_table(Table("t", {"a": [2]}))
+
+    def test_replace(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1]}))
+        catalog.add_table(Table("t", {"a": [1, 2]}), replace=True)
+        assert catalog.table("t").num_rows == 2
+
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1]}))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_index_caching(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1, 2, 1]}))
+        first = catalog.build_index("t", "a")
+        second = catalog.build_index("t", "a")
+        assert first is second
+        assert catalog.index_count() == 1
+        assert catalog.index("t", "a") is first
+        assert catalog.index("t", "b") is None
+
+    def test_replacing_table_invalidates_indexes(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1, 2]}))
+        catalog.build_index("t", "a")
+        catalog.add_table(Table("t", {"a": [3]}), replace=True)
+        assert catalog.index_count() == 0
+
+    def test_iteration(self):
+        catalog = Catalog()
+        catalog.add_table(Table("a", {"x": [1]}))
+        catalog.add_table(Table("b", {"x": [1]}))
+        assert sorted(table.name for table in catalog) == ["a", "b"]
+
+
+class TestCsvLoader:
+    def test_round_trip(self, tmp_path):
+        table = Table("t", {"id": [1, 2], "name": ["x", "y"], "score": [1.5, 2.5]})
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        assert loaded.name == "t"
+        assert loaded.column("id").values() == [1, 2]
+        assert loaded.column("name").values() == ["x", "y"]
+        assert loaded.column("score").values() == [1.5, 2.5]
+
+    def test_type_inference_falls_back_to_string(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        loaded = load_csv(path, "mixed")
+        assert loaded.column("a").ctype is ColumnType.INT
+        assert loaded.column("b").ctype is ColumnType.STRING
+
+    def test_explicit_schema(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("a\n1\n2\n")
+        loaded = load_csv(path, schema={"a": ColumnType.FLOAT})
+        assert loaded.column("a").ctype is ColumnType.FLOAT
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)

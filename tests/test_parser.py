@@ -1,0 +1,175 @@
+"""Unit tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.expressions import ColumnRef, FunctionCall, Literal
+from repro.query.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(Table("orders", {"oid": [1], "cid": [1], "amount": [10]}))
+    catalog.add_table(Table("customers", {"cid": [1], "country": ["us"]}))
+    return catalog
+
+
+class TestBasics:
+    def test_select_star_single_table(self):
+        query = parse_query("SELECT * FROM orders")
+        assert query.aliases == ["orders"]
+        assert query.select_items == ()
+
+    def test_table_alias_with_and_without_as(self):
+        query = parse_query("SELECT o.amount FROM orders AS o")
+        assert query.aliases == ["o"]
+        query = parse_query("SELECT o.amount FROM orders o")
+        assert query.aliases == ["o"]
+
+    def test_multiple_tables(self):
+        query = parse_query(
+            "SELECT o.amount FROM orders o, customers c WHERE o.cid = c.cid"
+        )
+        assert query.aliases == ["o", "c"]
+        assert len(query.predicates) == 1
+        assert query.predicates[0].is_equi_join
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select o.amount from orders o where o.amount > 5")
+        assert len(query.predicates) == 1
+
+    def test_projection_alias(self):
+        query = parse_query("SELECT o.amount AS total FROM orders o")
+        assert query.select_items[0].alias == "total"
+
+
+class TestPredicates:
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            query = parse_query(f"SELECT * FROM orders o WHERE o.amount {op} 5")
+            predicate = query.predicates[0]
+            expected = "!=" if op == "<>" else op
+            assert predicate.op == expected
+
+    def test_and_conjunction(self):
+        query = parse_query(
+            "SELECT * FROM orders o WHERE o.amount > 5 AND o.cid = 1 AND o.oid < 9"
+        )
+        assert len(query.predicates) == 3
+
+    def test_between_expands_to_two_conjuncts(self):
+        query = parse_query("SELECT * FROM orders o WHERE o.amount BETWEEN 5 AND 10")
+        ops = sorted(p.op for p in query.predicates)
+        assert ops == ["<=", ">="]
+
+    def test_string_literal(self):
+        query = parse_query("SELECT * FROM customers c WHERE c.country = 'us'")
+        assert query.predicates[0].right == Literal("us")
+
+    def test_string_literal_with_escaped_quote(self):
+        query = parse_query("SELECT * FROM customers c WHERE c.country = 'o''brien'")
+        assert query.predicates[0].right == Literal("o'brien")
+
+    def test_float_literal(self):
+        query = parse_query("SELECT * FROM orders o WHERE o.amount > 1.5")
+        assert query.predicates[0].right == Literal(1.5)
+
+    def test_bare_udf_predicate(self):
+        query = parse_query("SELECT * FROM orders o WHERE is_large(o.amount)")
+        predicate = query.predicates[0]
+        assert predicate.op is None
+        assert isinstance(predicate.left, FunctionCall)
+        assert predicate.uses_udf
+
+    def test_udf_with_comparison(self):
+        query = parse_query("SELECT * FROM orders o WHERE bucket(o.amount, 10) = 3")
+        assert query.predicates[0].op == "="
+
+
+class TestAggregationAndOrdering:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) AS n FROM orders o")
+        item = query.select_items[0]
+        assert item.is_aggregate
+        assert item.aggregate.function == "count"
+        assert item.alias == "n"
+
+    def test_aggregates_with_group_by(self):
+        query = parse_query(
+            "SELECT c.country, SUM(o.amount) AS total FROM orders o, customers c "
+            "WHERE o.cid = c.cid GROUP BY c.country"
+        )
+        assert query.has_aggregates
+        assert len(query.group_by) == 1
+        assert query.group_by[0] == ColumnRef("c", "country")
+
+    def test_min_max_avg(self):
+        query = parse_query(
+            "SELECT MIN(o.amount), MAX(o.amount), AVG(o.amount) FROM orders o"
+        )
+        functions = [item.aggregate.function for item in query.select_items]
+        assert functions == ["min", "max", "avg"]
+
+    def test_order_by_asc_desc(self):
+        query = parse_query(
+            "SELECT o.amount FROM orders o ORDER BY o.amount DESC, o.oid ASC"
+        )
+        assert [item.ascending for item in query.order_by] == [False, True]
+
+    def test_limit(self):
+        assert parse_query("SELECT * FROM orders LIMIT 7").limit == 7
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT o.cid FROM orders o").distinct
+
+
+class TestColumnResolution:
+    def test_unqualified_single_table(self):
+        query = parse_query("SELECT amount FROM orders WHERE amount > 3")
+        assert query.select_items[0].expression == ColumnRef("orders", "amount")
+
+    def test_unqualified_with_catalog(self, catalog):
+        query = parse_query(
+            "SELECT amount FROM orders o, customers c WHERE o.cid = c.cid AND country = 'us'",
+            catalog,
+        )
+        country_predicate = query.predicates[1]
+        assert country_predicate.left == ColumnRef("c", "country")
+
+    def test_ambiguous_unqualified_raises(self, catalog):
+        with pytest.raises(ParseError):
+            parse_query("SELECT cid FROM orders o, customers c WHERE o.cid = c.cid", catalog)
+
+    def test_unresolvable_unqualified_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT amount FROM orders o, customers c WHERE o.cid = c.cid")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM orders o xyzzy uvwxy")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM orders WHERE a ~ 3")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM orders LIMIT many")
+
+    def test_keyword_as_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM orders WHERE select = 1")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("SELECT * FROM orders WHERE a ~ 3")
+        assert excinfo.value.position is not None

@@ -1,0 +1,175 @@
+"""Unit and differential tests for row-id relations, operators, and the executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import PlanExecutor
+from repro.engine.meter import CostMeter
+from repro.engine.operators import filter_table, hash_join_step, nested_loop_step
+from repro.engine.relation import RowIdRelation
+from repro.errors import BudgetExceeded, ExecutionError, PlanningError
+from repro.query.predicates import column_compare_literal, column_equals_column
+from repro.query.query import make_query
+from tests.conftest import reference_join_tuples
+
+
+class TestRowIdRelation:
+    def test_from_base_and_len(self):
+        relation = RowIdRelation.from_base("t", [0, 2, 4])
+        assert len(relation) == 3
+        assert relation.aliases == ["t"]
+        assert relation.ids("t").tolist() == [0, 2, 4]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExecutionError):
+            RowIdRelation({"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(ExecutionError):
+            RowIdRelation.from_base("t", [1]).ids("other")
+
+    def test_extend_and_take(self):
+        relation = RowIdRelation.from_base("a", [10, 20])
+        extended = relation.extend("b", np.array([7, 8, 9]), np.array([0, 0, 1]))
+        assert len(extended) == 3
+        assert extended.ids("a").tolist() == [10, 10, 20]
+        taken = extended.take(np.array([2]))
+        assert taken.ids("b").tolist() == [9]
+
+    def test_index_tuples_round_trip(self):
+        tuples = [(1, 5), (2, 6)]
+        relation = RowIdRelation.from_index_tuples(["a", "b"], tuples)
+        assert relation.index_tuples(["a", "b"]) == tuples
+        assert relation.index_tuples(["b", "a"]) == [(5, 1), (6, 2)]
+
+    def test_empty(self):
+        relation = RowIdRelation.empty(["a", "b"])
+        assert len(relation) == 0
+        assert relation.index_tuples() == []
+
+    def test_binding_materializes_values(self, tiny_catalog):
+        relation = RowIdRelation.from_index_tuples(["c"], [(1,)])
+        binding = relation.binding(0, {"c": tiny_catalog.table("customers")})
+        assert binding["c"]["country"] == "de"
+
+
+class TestOperators:
+    def test_filter_table_applies_predicates(self, tiny_catalog):
+        meter = CostMeter()
+        customers = tiny_catalog.table("customers")
+        positions = filter_table(
+            customers, "c", [column_compare_literal("c", "country", "=", "de")], meter
+        )
+        assert positions.tolist() == [1, 4]
+        assert meter.tuples_scanned == customers.num_rows
+        assert meter.predicate_evals == customers.num_rows
+
+    def test_filter_table_multiple_predicates_short_circuit(self, tiny_catalog):
+        meter = CostMeter()
+        positions = filter_table(
+            tiny_catalog.table("customers"), "c",
+            [column_compare_literal("c", "country", "=", "nowhere"),
+             column_compare_literal("c", "score", ">", 0)],
+            meter,
+        )
+        assert positions.tolist() == []
+
+    def test_hash_join_matches_reference(self, tiny_catalog):
+        meter = CostMeter()
+        customers = tiny_catalog.table("customers")
+        orders = tiny_catalog.table("orders")
+        tables = {"c": customers, "o": orders}
+        prefix = RowIdRelation.from_base("c", np.arange(customers.num_rows))
+        joined = hash_join_step(
+            prefix, "o", orders, np.arange(orders.num_rows),
+            [column_equals_column("c", "cid", "o", "cid")], [], tables, meter,
+        )
+        expected = {
+            (c, o)
+            for c in range(customers.num_rows)
+            for o in range(orders.num_rows)
+            if customers.row(c)["cid"] == orders.row(o)["cid"]
+        }
+        assert set(joined.index_tuples(["c", "o"])) == expected
+        assert meter.intermediate_tuples == len(expected)
+
+    def test_nested_loop_with_residual_predicate(self, tiny_catalog):
+        meter = CostMeter()
+        customers = tiny_catalog.table("customers")
+        orders = tiny_catalog.table("orders")
+        tables = {"c": customers, "o": orders}
+        prefix = RowIdRelation.from_base("c", np.arange(customers.num_rows))
+        from repro.query.expressions import ColumnRef
+        from repro.query.predicates import Predicate
+
+        joined = nested_loop_step(
+            prefix, "o", orders, np.arange(orders.num_rows),
+            [Predicate(ColumnRef("c", "score"), ">", ColumnRef("o", "amount"))],
+            tables, meter,
+        )
+        expected = {
+            (c, o)
+            for c in range(customers.num_rows)
+            for o in range(orders.num_rows)
+            if customers.row(c)["score"] > orders.row(o)["amount"]
+        }
+        assert set(joined.index_tuples(["c", "o"])) == expected
+
+    def test_nested_loop_empty_side(self, tiny_catalog):
+        meter = CostMeter()
+        orders = tiny_catalog.table("orders")
+        prefix = RowIdRelation.from_base("c", np.array([], dtype=np.int64))
+        joined = nested_loop_step(prefix, "o", orders, np.arange(3), [], {}, meter)
+        assert len(joined) == 0
+
+
+class TestPlanExecutor:
+    def test_all_orders_produce_reference_result(self, tiny_catalog, tiny_join_query):
+        expected = reference_join_tuples(tiny_catalog, tiny_join_query)
+        graph = tiny_join_query.join_graph()
+        for order in graph.valid_join_orders():
+            executor = PlanExecutor(tiny_catalog, tiny_join_query)
+            relation = executor.execute_order(list(order), CostMeter())
+            produced = set(relation.index_tuples(tiny_join_query.aliases))
+            assert produced == expected, f"order {order} disagrees with the oracle"
+
+    def test_invalid_order_rejected(self, tiny_catalog, tiny_join_query):
+        executor = PlanExecutor(tiny_catalog, tiny_join_query)
+        with pytest.raises(PlanningError):
+            executor.execute_order(["c", "o"], CostMeter())
+
+    def test_budget_aborts_execution(self, tiny_catalog, tiny_join_query):
+        executor = PlanExecutor(tiny_catalog, tiny_join_query)
+        with pytest.raises(BudgetExceeded):
+            executor.execute_order(["c", "o", "i"], CostMeter(budget=5))
+
+    def test_batch_restriction_via_base_positions(self, tiny_catalog, tiny_join_query):
+        executor = PlanExecutor(tiny_catalog, tiny_join_query)
+        full = executor.execute_order(["c", "o", "i"], CostMeter())
+        restricted = executor.execute_order(
+            ["c", "o", "i"], CostMeter(), base_positions={"c": np.array([2])}
+        )
+        full_tuples = set(full.index_tuples(["c", "o", "i"]))
+        restricted_tuples = set(restricted.index_tuples(["c", "o", "i"]))
+        assert restricted_tuples <= full_tuples
+        assert all(t[0] == 2 for t in restricted_tuples)
+
+    def test_join_subset_cardinality_matches_reference(self, tiny_catalog, tiny_join_query):
+        executor = PlanExecutor(tiny_catalog, tiny_join_query)
+        from repro.engine.executor import _restrict_query
+
+        sub_query = _restrict_query(tiny_join_query, ["c", "o"])
+        expected = len(reference_join_tuples(tiny_catalog, sub_query))
+        assert executor.join_subset_cardinality(["c", "o"]) == expected
+
+    def test_cartesian_product_order_still_correct(self, tiny_catalog):
+        # A query whose only join predicate links c and o; i is joined by a
+        # cross product when it comes second.
+        query = make_query(
+            [("c", "customers"), ("o", "orders"), ("i", "items")],
+            predicates=[column_equals_column("c", "cid", "o", "cid")],
+        )
+        expected = reference_join_tuples(tiny_catalog, query)
+        executor = PlanExecutor(tiny_catalog, query)
+        relation = executor.execute_order(["c", "i", "o"], CostMeter())
+        assert set(relation.index_tuples(query.aliases)) == expected

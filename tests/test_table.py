@@ -1,0 +1,83 @@
+"""Unit tests for tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def people() -> Table:
+    return Table("people", {
+        "id": [1, 2, 3],
+        "name": ["ann", "bob", "cid"],
+        "age": [30, 25, 41],
+    })
+
+
+class TestConstruction:
+    def test_column_names_in_order(self, people):
+        assert people.column_names == ["id", "name", "age"]
+
+    def test_num_rows(self, people):
+        assert people.num_rows == 3
+        assert len(people) == 3
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            Table("bad", {"a": [1, 2], "b": [1]})
+
+    def test_accepts_prebuilt_columns(self):
+        table = Table("t", {"x": Column([1, 2, 3])})
+        assert table.column("x").ctype is ColumnType.INT
+
+    def test_from_rows(self):
+        table = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y")])
+        assert table.num_rows == 2
+        assert table.row(1) == {"a": 2, "b": "y"}
+
+    def test_empty_table(self):
+        table = Table("empty", {"a": []})
+        assert table.num_rows == 0
+
+    def test_renamed_view(self, people):
+        alias = people.renamed("p2")
+        assert alias.name == "p2"
+        assert alias.num_rows == people.num_rows
+
+
+class TestAccess:
+    def test_row(self, people):
+        assert people.row(0) == {"id": 1, "name": "ann", "age": 30}
+
+    def test_rows(self, people):
+        assert len(people.rows()) == 3
+
+    def test_missing_column_raises(self, people):
+        with pytest.raises(CatalogError):
+            people.column("salary")
+
+    def test_has_column(self, people):
+        assert people.has_column("age")
+        assert not people.has_column("salary")
+
+    def test_column_types(self, people):
+        types = people.column_types()
+        assert types["id"] is ColumnType.INT
+        assert types["name"] is ColumnType.STRING
+
+
+class TestBulkOperations:
+    def test_select_positions(self, people):
+        subset = people.select([2, 0])
+        assert subset.column("name").values() == ["cid", "ann"]
+
+    def test_filter_mask(self, people):
+        filtered = people.filter_mask(np.array([True, False, True]))
+        assert filtered.column("id").values() == [1, 3]
+
+    def test_filter_mask_wrong_length_raises(self, people):
+        with pytest.raises(SchemaError):
+            people.filter_mask(np.array([True]))
