@@ -4,18 +4,101 @@ Each benchmark module regenerates one table or figure of the paper.  The
 experiment runs once inside pytest-benchmark (``rounds=1``) — the interesting
 output is the table/series itself, which is printed so that
 ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced numbers.
+
+Two environment variables drive the CI integration:
+
+``BENCH_SMOKE=1``
+    Shrink every experiment to a tiny scale factor (one repetition is the
+    default already), so the whole suite finishes in CI minutes while still
+    exercising every engine end to end.
+``BENCH_OUTPUT_DIR=<dir>``
+    Write one ``BENCH_<experiment>.json`` per experiment — the rendered rows
+    or series, the parameters used, and the wall time — so CI can upload the
+    results as a workflow artifact and the perf trajectory is tracked
+    per-PR.  Unset means no files are written.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.bench.report import format_series, format_table
 
+#: Per-keyword ceilings applied when ``BENCH_SMOKE=1``: every experiment
+#: keyword that appears here is reduced to a smoke-sized value.
+_SMOKE_LIMITS: dict[str, Any] = {
+    "scale": 0.15,
+    "threads": 2,
+    "tuples_per_table": 60,
+    "budget": 5_000,
+    "table_counts": (3,),
+}
+
+
+def smoke_mode() -> bool:
+    """Whether the suite runs in the reduced CI smoke configuration."""
+    return os.environ.get("BENCH_SMOKE", "") == "1"
+
+
+def _smoke_kwargs(kwargs: dict[str, Any]) -> dict[str, Any]:
+    reduced = dict(kwargs)
+    for key, limit in _SMOKE_LIMITS.items():
+        if key not in reduced:
+            continue
+        if key == "table_counts":
+            reduced[key] = limit
+        else:
+            reduced[key] = min(reduced[key], limit)
+    return reduced
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of experiment outputs to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _json_safe(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+def _write_artifact(name: str, output: dict[str, Any], seconds: float,
+                    kwargs: dict[str, Any]) -> None:
+    output_dir = os.environ.get("BENCH_OUTPUT_DIR", "")
+    if not output_dir:
+        return
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "experiment": name,
+        "title": output.get("title", name),
+        "smoke": smoke_mode(),
+        "wall_time_seconds": round(seconds, 3),
+        "kwargs": _json_safe(kwargs),
+        "output": _json_safe(output),
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+
 
 def run_experiment(benchmark, experiment: Callable[..., dict[str, Any]], **kwargs) -> dict:
     """Run one experiment exactly once under pytest-benchmark and print it."""
+    if smoke_mode():
+        kwargs = _smoke_kwargs(kwargs)
+    started = time.perf_counter()
     output = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
+    seconds = time.perf_counter() - started
+    _write_artifact(experiment.__name__, output, seconds, kwargs)
     print()
     print(render(output))
     return output

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.baselines.traditional import TraditionalEngine
-from repro.bench.harness import run_query, run_workload
+from repro.bench.harness import run_workload
 from repro.bench.metrics import QueryRecord, aggregate_records, relative_overheads
 from repro.bench.specs import (
     BENCH_CONFIG,

@@ -21,6 +21,12 @@ class SkinnerConfig:
     slice_budget:
         Skinner-C: number of multi-way join loop iterations per time slice
         (the paper's ``b``).
+    batch_size:
+        Skinner-C: how many candidate tuple indices the multi-way join
+        examines per vectorized batch.  ``1`` selects the scalar
+        tuple-at-a-time executor (the pre-batching behavior, kept for A/B
+        comparisons); larger values amortize interpreter overhead across
+        NumPy operations.  Batches never exceed the remaining slice budget.
     exploration_weight:
         UCT exploration weight for Skinner-C.
     reward_function:
@@ -51,6 +57,7 @@ class SkinnerConfig:
     """
 
     slice_budget: int = 500
+    batch_size: int = 1024
     exploration_weight: float = SKINNER_C_EXPLORATION_WEIGHT
     reward_function: str = "scaled_deltas"
     use_hash_jump: bool = True

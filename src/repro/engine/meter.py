@@ -101,6 +101,26 @@ class CostMeter:
         """Charge ``amount`` user-defined-function invocations."""
         self.charge("udf_invocations", amount)
 
+    def clamp_batch(self, requested: int) -> int:
+        """Largest batch size (at least 1) that fits the remaining budget.
+
+        Batched executors charge whole batches of tuples at once; without
+        clamping, a single large batch could overshoot the budget by up to
+        the full batch size before :class:`BudgetExceeded` fires.  Clamping
+        to the remaining budget bounds the recorded overshoot to one
+        remaining-budget-sized chunk per charge kind (scans, then the
+        predicate evaluations over that chunk) instead of the unbounded
+        batch size.  The result is never below 1 so that a meter at the
+        edge of its budget still makes progress (and raises on the recorded
+        overflow, exactly like :meth:`charge`).
+        """
+        if requested < 1:
+            raise ValueError("batch size must be at least 1")
+        remaining = self.remaining
+        if remaining is None:
+            return requested
+        return max(1, min(requested, remaining))
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

@@ -12,6 +12,25 @@ essentially free.
 With equality join predicates, advancing an index "jumps" directly to the
 next tuple whose join column matches the value fixed by the preceding tables,
 using the hash maps built during pre-processing (paper §4.5, last paragraph).
+
+Two executors share these semantics:
+
+* the **scalar** executor advances one tuple index per loop iteration — the
+  literal transcription of Algorithm 2, kept as the ``batch_size=1``
+  reference for A/B comparisons;
+* the **batched** executor (``batch_size > 1``) materializes the full run of
+  candidate row indices at a join-order position — the matching bucket of the
+  pre-processing hash maps, or a bounded ``arange`` for scan positions — as
+  an ``int64`` array, applies the newly applicable predicates vectorized over
+  the column arrays, and emits surviving combinations into the result set in
+  bulk.  Suspension works mid-batch: the per-position batch cursors are
+  recorded in the :class:`~repro.skinner.state.JoinState` so another join
+  order can take over after any slice, and the tuple-index vector alone is
+  always sufficient to rebuild the exact position.
+
+Both executors enumerate candidate combinations in the same lexicographic
+sequence and evaluate the same predicates per candidate, so they produce
+identical result sets and identical suspend/resume states.
 """
 
 from __future__ import annotations
@@ -23,11 +42,23 @@ from typing import Any
 import numpy as np
 
 from repro.engine.meter import CostMeter
-from repro.query.predicates import Predicate
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import _COMPARATORS, Predicate
 from repro.query.udf import UdfRegistry
 from repro.skinner.preprocessor import PreprocessedQuery
 from repro.skinner.result_set import JoinResultSet
 from repro.skinner.state import JoinState
+from repro.storage.column import ColumnType
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: comparators for vectorized predicate plans.  The scalar path evaluates
+#: predicates through the same table (its lambdas broadcast over numpy
+#: arrays), so both executors inherit any operator change together.
+_VECTOR_OPS = _COMPARATORS
+
+#: mirrored operator when the batch-position column is the right-hand side.
+_MIRRORED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 @dataclass
@@ -41,6 +72,28 @@ class _JumpSpec:
 
 
 @dataclass
+class _PredicatePlan:
+    """How to evaluate one newly applicable predicate over a candidate batch.
+
+    ``vectorized`` plans compare the batch position's physical column values
+    against the single value fixed by an earlier position.  Everything else
+    (UDFs, expressions, mixed string/numeric comparisons) falls back to
+    row-at-a-time evaluation over the batch, which matches the scalar
+    executor's behavior exactly.
+    """
+
+    predicate: Predicate
+    aliases: tuple[str, ...]
+    vectorized: bool = False
+    own_column: str | None = None
+    op: str | None = None
+    own_is_string: bool = False
+    other_alias: str | None = None
+    other_column: str | None = None
+    other_position: int = -1
+
+
+@dataclass
 class _OrderContext:
     """Per-join-order precomputation: applicable predicates and jump specs."""
 
@@ -49,10 +102,88 @@ class _OrderContext:
     predicates_at: list[list[Predicate]] = field(default_factory=list)
     predicate_aliases_at: list[list[tuple[str, ...]]] = field(default_factory=list)
     jump_at: list[_JumpSpec | None] = field(default_factory=list)
+    plans_at: list[list[_PredicatePlan]] = field(default_factory=list)
+    #: join-order position of each alias in canonical (declaration) order.
+    canonical_positions: tuple[int, ...] = ()
+    #: alias -> join-order position, shared by the per-batch fallback path.
+    order_positions: dict[str, int] = field(default_factory=dict)
+
+
+class _Frame:
+    """Candidate run of one join-order position during batched execution.
+
+    ``matches`` holds the hash-map bucket for jump positions (``None`` for
+    scan positions, whose candidates are the implicit ascending row range).
+    ``cursor``/``next_row`` point at the next unexamined candidate;
+    ``survivors``/``scursor`` hold the predicate-filtered remainder of the
+    current chunk at intermediate depths.  A plain ``__slots__`` class: one
+    frame is allocated per descent, which makes construction cost part of
+    the hot path.
+    """
+
+    __slots__ = ("matches", "cursor", "next_row", "survivors", "scursor")
+
+    def __init__(self, matches: np.ndarray | None, cursor: int = 0, next_row: int = 0) -> None:
+        self.matches = matches
+        self.cursor = cursor
+        self.next_row = next_row
+        self.survivors = _EMPTY
+        self.scursor = 0
+
+    def exhausted(self, cardinality: int) -> bool:
+        if self.matches is not None:
+            return self.cursor >= self.matches.shape[0]
+        return self.next_row >= cardinality
+
+    def take(self, limit: int, cardinality: int) -> np.ndarray:
+        """Next chunk of at most ``limit`` unexamined candidate row ids."""
+        if self.matches is not None:
+            chunk = self.matches[self.cursor : self.cursor + limit]
+            self.cursor += int(chunk.shape[0])
+            return chunk
+        high = min(self.next_row + limit, cardinality)
+        if high <= self.next_row:
+            return _EMPTY
+        chunk = np.arange(self.next_row, high, dtype=np.int64)
+        self.next_row = high
+        return chunk
+
+    def next_bound(self, cardinality: int) -> int:
+        """Row id the next unexamined candidate starts at (for suspension)."""
+        if self.matches is not None:
+            if self.cursor < self.matches.shape[0]:
+                return int(self.matches[self.cursor])
+            return cardinality
+        return min(self.next_row, cardinality)
+
+    def batch_cursor(self) -> int:
+        """Progress marker within the candidate run (saved in JoinState)."""
+        if self.matches is not None:
+            return self.cursor
+        return self.next_row
+
+
+@dataclass
+class _SuspendedRun:
+    """Frames parked when a slice suspends, for exact mid-batch resumption."""
+
+    snapshot: tuple[int, ...]
+    cursors: list[int]
+    frames: list[_Frame | None]
+    depth: int
 
 
 class MultiwayJoin:
-    """Executes join orders for one pre-processed query, one slice at a time."""
+    """Executes join orders for one pre-processed query, one slice at a time.
+
+    Parameters
+    ----------
+    batch_size:
+        Candidates examined per vectorized batch.  ``1`` selects the scalar
+        tuple-at-a-time executor; larger values amortize interpreter overhead
+        across NumPy operations.  Batches are clamped to the remaining slice
+        budget and to the meter's remaining work budget.
+    """
 
     def __init__(
         self,
@@ -60,11 +191,16 @@ class MultiwayJoin:
         udfs: UdfRegistry | None = None,
         *,
         use_hash_jump: bool = True,
+        batch_size: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self._prepared = prepared
         self._udfs = udfs
         self._use_hash_jump = use_hash_jump
+        self._batch_size = batch_size
         self._contexts: dict[tuple[str, ...], _OrderContext] = {}
+        self._suspended: dict[tuple[str, ...], _SuspendedRun] = {}
 
     # ------------------------------------------------------------------
     # per-order preparation
@@ -86,6 +222,14 @@ class MultiwayJoin:
             context.predicates_at.append(newly)
             context.predicate_aliases_at.append([tuple(sorted(p.tables())) for p in newly])
             context.jump_at.append(self._jump_spec(order, position, newly))
+            context.plans_at.append(
+                [self._plan_predicate(order, position, p) for p in newly]
+            )
+        order_position = {alias: position for position, alias in enumerate(order)}
+        context.order_positions = order_position
+        context.canonical_positions = tuple(
+            order_position[alias] for alias in prepared.aliases
+        )
         self._contexts[order] = context
         return context
 
@@ -114,6 +258,47 @@ class MultiwayJoin:
             )
         return None
 
+    def _plan_predicate(
+        self, order: tuple[str, ...], position: int, predicate: Predicate
+    ) -> _PredicatePlan:
+        """Classify a newly applicable predicate for batched evaluation."""
+        alias = order[position]
+        aliases = tuple(sorted(predicate.tables()))
+        plan = _PredicatePlan(predicate=predicate, aliases=aliases)
+        left, op, right = predicate.left, predicate.op, predicate.right
+        if (
+            op not in _VECTOR_OPS
+            or not isinstance(left, ColumnRef)
+            or not isinstance(right, ColumnRef)
+            or left.table == right.table
+        ):
+            return plan
+        if left.table == alias:
+            own, other = left, right
+        elif right.table == alias:
+            own, other = right, left
+            op = _MIRRORED_OP[op]
+        else:  # pragma: no cover - newly applicable predicates name the alias
+            return plan
+        prepared = self._prepared
+        own_type = prepared.tables[alias].column(own.column).ctype
+        other_type = prepared.tables[other.table].column(other.column).ctype
+        own_is_string = own_type is ColumnType.STRING
+        other_is_string = other_type is ColumnType.STRING
+        if own_is_string != other_is_string:
+            return plan  # mixed string/numeric: row-at-a-time Python semantics
+        if own_is_string and op not in ("=", "!="):
+            return plan  # ordering on strings: compare decoded values row-wise
+        earlier = {a: p for p, a in enumerate(order[:position])}
+        plan.vectorized = True
+        plan.own_column = own.column
+        plan.op = op
+        plan.own_is_string = own_is_string
+        plan.other_alias = other.table
+        plan.other_column = other.column
+        plan.other_position = earlier[other.table]
+        return plan
+
     # ------------------------------------------------------------------
     # ContinueJoin (Algorithm 2)
     # ------------------------------------------------------------------
@@ -125,13 +310,27 @@ class MultiwayJoin:
         result_set: JoinResultSet,
         meter: CostMeter,
     ) -> bool:
-        """Execute ``state.order`` for at most ``budget`` loop iterations.
+        """Execute ``state.order`` for at most ``budget`` candidate tuples.
 
         Returns ``True`` when the join order has been fully enumerated (the
         left-most table is exhausted), ``False`` when the budget ran out.
         Result tuples are added to ``result_set``; ``state`` is advanced in
-        place so the caller can back it up.
+        place so the caller can back it up.  The budget counts examined
+        candidate tuples, so a batch of ``n`` candidates consumes ``n`` units
+        — batched and scalar execution drain a slice at the same rate.
         """
+        if self._batch_size == 1:
+            return self._continue_scalar(state, offsets, budget, result_set, meter)
+        return self._continue_batched(state, offsets, budget, result_set, meter)
+
+    def _continue_scalar(
+        self,
+        state: JoinState,
+        offsets: Mapping[str, int],
+        budget: int,
+        result_set: JoinResultSet,
+        meter: CostMeter,
+    ) -> bool:
         context = self.context_for(state.order)
         order = context.order
         cardinalities = context.cardinalities
@@ -164,7 +363,271 @@ class MultiwayJoin:
         return False
 
     # ------------------------------------------------------------------
-    # NextTuple with optional hash jump
+    # batched ContinueJoin
+    # ------------------------------------------------------------------
+    def _continue_batched(
+        self,
+        state: JoinState,
+        offsets: Mapping[str, int],
+        budget: int,
+        result_set: JoinResultSet,
+        meter: CostMeter,
+    ) -> bool:
+        context = self.context_for(state.order)
+        order = context.order
+        cardinalities = context.cardinalities
+        last = len(order) - 1
+        if any(c == 0 for c in cardinalities):
+            state.batch_cursors = None
+            return True
+
+        budget = max(budget, len(order) + 1)
+        frames, depth, iterations = self._resume_frames(context, state, meter)
+        while True:
+            if iterations >= budget:
+                self._suspend(context, state, frames, depth)
+                return False
+            frame = frames[depth]
+            if frame is None:
+                frame = self._make_frame(context, state, depth, state.indices[depth])
+                frames[depth] = frame
+            if depth == last:
+                limit = meter.clamp_batch(min(self._batch_size, budget - iterations))
+                chunk = frame.take(limit, cardinalities[depth])
+                if chunk.shape[0] == 0:
+                    depth = self._pop_frame(context, state, frames, offsets, depth)
+                    if depth < 0:
+                        state.batch_cursors = None
+                        return True
+                    continue
+                iterations += int(chunk.shape[0])
+                meter.charge_scan(int(chunk.shape[0]))
+                survivors = self._filter_batch(context, depth, state, chunk, meter)
+                if survivors.shape[0]:
+                    self._emit_batch(context, state, depth, survivors, result_set, meter)
+                state.indices[depth] = frame.next_bound(cardinalities[depth])
+                continue
+            if frame.scursor >= frame.survivors.shape[0]:
+                if frame.exhausted(cardinalities[depth]):
+                    depth = self._pop_frame(context, state, frames, offsets, depth)
+                    if depth < 0:
+                        state.batch_cursors = None
+                        return True
+                    continue
+                limit = meter.clamp_batch(min(self._batch_size, budget - iterations))
+                chunk = frame.take(limit, cardinalities[depth])
+                iterations += int(chunk.shape[0])
+                meter.charge_scan(int(chunk.shape[0]))
+                frame.survivors = self._filter_batch(context, depth, state, chunk, meter)
+                frame.scursor = 0
+                continue
+            state.indices[depth] = int(frame.survivors[frame.scursor])
+            frame.scursor += 1
+            depth += 1
+
+    def _make_frame(
+        self, context: _OrderContext, state: JoinState, depth: int, lower: int
+    ) -> _Frame:
+        """Materialize the candidate run at ``depth`` starting from ``lower``."""
+        spec = context.jump_at[depth]
+        if spec is None:
+            return _Frame(None, next_row=max(0, lower))
+        prepared = self._prepared
+        earlier_index = state.indices[spec.earlier_position]
+        value = prepared.value_at(spec.earlier_alias, spec.earlier_column, earlier_index)
+        join_map = prepared.join_maps[(context.order[depth], spec.own_column)]
+        matches = join_map.get(value)
+        if matches is None:
+            matches = _EMPTY
+        if lower <= 0 or matches.shape[0] == 0:
+            start = 0
+        else:
+            start = int(np.searchsorted(matches, lower, side="left"))
+        return _Frame(matches=matches, cursor=start)
+
+    def _pop_frame(
+        self,
+        context: _OrderContext,
+        state: JoinState,
+        frames: list[_Frame | None],
+        offsets: Mapping[str, int],
+        depth: int,
+    ) -> int:
+        """Backtrack from an exhausted position, resetting it to its offset."""
+        state.indices[depth] = offsets.get(context.order[depth], 0)
+        frames[depth] = None
+        return depth - 1
+
+    def _resume_frames(
+        self, context: _OrderContext, state: JoinState, meter: CostMeter
+    ) -> tuple[list[_Frame | None], int, int]:
+        """Rebuild (or reuse) the per-position candidate runs for a state.
+
+        A state suspended by this executor resumes from the parked frames via
+        the batch cursors; any other state (restored by the progress tracker,
+        clamped to new offsets, or freshly initialized) is rebuilt by
+        descending along its index vector: a position whose index is a
+        satisfied candidate keeps its deeper indices, the first unsatisfied
+        position becomes the resumption depth — exactly the scalar
+        executor's re-descent semantics.
+        """
+        order = context.order
+        cardinalities = context.cardinalities
+        parked = self._suspended.pop(order, None)
+        if (
+            parked is not None
+            and parked.snapshot == tuple(state.indices)
+            and (state.batch_cursors is None or state.batch_cursors == parked.cursors)
+        ):
+            return parked.frames, parked.depth, 0
+        frames: list[_Frame | None] = [None] * len(order)
+        depth = 0
+        iterations = 0
+        last = len(order) - 1
+        for position in range(len(order)):
+            index = state.indices[position]
+            frames[position] = self._make_frame(context, state, position, index)
+            depth = position
+            if position == last:
+                break
+            if index >= cardinalities[position]:
+                break
+            iterations += 1
+            meter.charge_scan(1)
+            frame = frames[position]
+            if frame.matches is not None:
+                if frame.cursor >= frame.matches.shape[0] or int(
+                    frame.matches[frame.cursor]
+                ) != index:
+                    break
+            satisfied = self._filter_batch(
+                context, position, state, np.asarray([index], dtype=np.int64), meter
+            )
+            if satisfied.shape[0] == 0:
+                break
+            # The saved index is the current candidate: consume it from the
+            # run and keep descending with the deeper saved indices.
+            if frame.matches is not None:
+                frame.cursor += 1
+            else:
+                frame.next_row = index + 1
+            depth = position + 1
+        return frames, depth, iterations
+
+    def _suspend(
+        self,
+        context: _OrderContext,
+        state: JoinState,
+        frames: list[_Frame | None],
+        depth: int,
+    ) -> None:
+        """Record the mid-batch position in the state and park the frames."""
+        cardinalities = context.cardinalities
+        frame = frames[depth]
+        if frame is not None:
+            if frame.scursor < frame.survivors.shape[0]:
+                state.indices[depth] = int(frame.survivors[frame.scursor])
+            else:
+                state.indices[depth] = frame.next_bound(cardinalities[depth])
+        cursors = [f.batch_cursor() if f is not None else 0 for f in frames]
+        state.batch_cursors = cursors
+        self._suspended[context.order] = _SuspendedRun(
+            snapshot=tuple(state.indices),
+            cursors=list(cursors),
+            frames=frames,
+            depth=depth,
+        )
+
+    def _filter_batch(
+        self,
+        context: _OrderContext,
+        depth: int,
+        state: JoinState,
+        candidates: np.ndarray,
+        meter: CostMeter,
+    ) -> np.ndarray:
+        """Apply the newly applicable predicates at ``depth`` to a batch.
+
+        Predicates are applied sequentially to the shrinking survivor array,
+        so the number of evaluations charged matches the scalar executor's
+        per-tuple short-circuiting.
+        """
+        plans = context.plans_at[depth]
+        if not plans:
+            return candidates
+        prepared = self._prepared
+        alias = context.order[depth]
+        for plan in plans:
+            if candidates.shape[0] == 0:
+                return candidates
+            meter.charge_predicate(int(candidates.shape[0]))
+            if plan.vectorized:
+                own_values = prepared.physical_column(alias, plan.own_column)[candidates]
+                other_value = prepared.value_at(
+                    plan.other_alias, plan.other_column, state.indices[plan.other_position]
+                )
+                if plan.own_is_string:
+                    code = prepared.encode_for(alias, plan.own_column, other_value)
+                    mask = own_values == code if plan.op == "=" else own_values != code
+                else:
+                    mask = _VECTOR_OPS[plan.op](own_values, other_value)
+                candidates = candidates[mask]
+            else:
+                candidates = self._filter_generic(context, plan, alias, state, candidates, meter)
+        return candidates
+
+    def _filter_generic(
+        self,
+        context: _OrderContext,
+        plan: _PredicatePlan,
+        alias: str,
+        state: JoinState,
+        candidates: np.ndarray,
+        meter: CostMeter,
+    ) -> np.ndarray:
+        """Row-at-a-time fallback for UDF and non-columnar predicates."""
+        prepared = self._prepared
+        predicate = plan.predicate
+        if predicate.uses_udf:
+            per_row = max(1, predicate.udf_cost(self._udfs) - 1)
+            meter.charge_udf(per_row * int(candidates.shape[0]))
+        position_of = context.order_positions
+        fixed: dict[str, dict[str, Any]] = {
+            a: prepared.binding_for(a, state.indices[position_of[a]])
+            for a in plan.aliases
+            if a != alias
+        }
+        keep = np.zeros(candidates.shape[0], dtype=bool)
+        for row, index in enumerate(candidates.tolist()):
+            binding = dict(fixed)
+            binding[alias] = prepared.binding_for(alias, index)
+            keep[row] = predicate.evaluate(binding, self._udfs)
+        return candidates[keep]
+
+    def _emit_batch(
+        self,
+        context: _OrderContext,
+        state: JoinState,
+        depth: int,
+        survivors: np.ndarray,
+        result_set: JoinResultSet,
+        meter: CostMeter,
+    ) -> None:
+        """Emit every surviving last-position candidate in one bulk insert."""
+        prepared = self._prepared
+        rows = int(survivors.shape[0])
+        matrix = np.empty((rows, len(prepared.aliases)), dtype=np.int64)
+        for column, position in enumerate(context.canonical_positions):
+            alias = context.order[position]
+            if position == depth:
+                matrix[:, column] = prepared.base_rows(alias, survivors)
+            else:
+                matrix[:, column] = prepared.base_row(alias, state.indices[position])
+        result_set.add_batch(matrix)
+        meter.charge_output(rows)
+
+    # ------------------------------------------------------------------
+    # NextTuple with optional hash jump (scalar executor)
     # ------------------------------------------------------------------
     def _next_tuple(
         self,
@@ -205,7 +668,7 @@ class MultiwayJoin:
         return int(matches[position])
 
     # ------------------------------------------------------------------
-    # predicate checking and result construction
+    # predicate checking and result construction (scalar executor)
     # ------------------------------------------------------------------
     def _satisfied(
         self, context: _OrderContext, depth: int, state: JoinState, meter: CostMeter

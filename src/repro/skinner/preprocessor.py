@@ -21,6 +21,7 @@ from repro.query.predicates import Predicate
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnType
 from repro.storage.table import Table
 
 
@@ -53,6 +54,12 @@ class PreprocessedQuery:
     filtered: dict[str, np.ndarray]
     join_maps: dict[tuple[str, str], dict[Any, np.ndarray]] = field(default_factory=dict)
     join_predicates: list[Predicate] = field(default_factory=list)
+    _physical_cache: dict[tuple[str, str], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+    _decoded_cache: dict[tuple[str, str], list[Any]] = field(
+        default_factory=dict, repr=False
+    )
 
     def cardinality(self, alias: str) -> int:
         """Filtered cardinality of a table."""
@@ -67,14 +74,58 @@ class PreprocessedQuery:
         return int(self.filtered[alias][filtered_index])
 
     def value_at(self, alias: str, column: str, filtered_index: int) -> Any:
-        """Decoded value of ``alias.column`` at a filtered-array index."""
-        position = self.base_row(alias, filtered_index)
-        return self.tables[alias].column(column).value(position)
+        """Decoded value of ``alias.column`` at a filtered-array index.
+
+        The decoded filtered column is cached as a plain Python list on first
+        access: the join executors probe hash maps with these values once per
+        index advance, which makes list indexing measurably cheaper than
+        per-call numpy scalar extraction.
+        """
+        key = (alias, column)
+        values = self._decoded_cache.get(key)
+        if values is None:
+            values = self._decode_filtered(alias, column)
+            self._decoded_cache[key] = values
+        return values[filtered_index]
+
+    def _decode_filtered(self, alias: str, column: str) -> list[Any]:
+        physical = self.physical_column(alias, column)
+        col = self.tables[alias].column(column)
+        if col.ctype is ColumnType.STRING:
+            dictionary = col.dictionary
+            return [dictionary[code] for code in physical.tolist()]
+        return physical.tolist()
 
     def binding_for(self, alias: str, filtered_index: int) -> dict[str, Any]:
         """Decoded row dict of ``alias`` at a filtered-array index."""
         position = self.base_row(alias, filtered_index)
         return self.tables[alias].row(position)
+
+    def base_rows(self, alias: str, filtered_indices: np.ndarray) -> np.ndarray:
+        """Base-table row positions for an array of filtered-array indices."""
+        return self.filtered[alias][filtered_indices]
+
+    def physical_column(self, alias: str, column: str) -> np.ndarray:
+        """Physical values of ``alias.column`` over the filtered tuple array.
+
+        For string columns these are dictionary codes; compare them against
+        :meth:`encode_for`-translated literals.  The gathered array is cached
+        because the batched executor slices it once per candidate batch.
+        """
+        key = (alias, column)
+        cached = self._physical_cache.get(key)
+        if cached is None:
+            cached = self.tables[alias].column(column).data[self.filtered[alias]]
+            self._physical_cache[key] = cached
+        return cached
+
+    def encode_for(self, alias: str, column: str, value: Any) -> Any:
+        """Translate a decoded value into ``alias.column``'s physical domain.
+
+        String columns return the dictionary code (``-1`` when the value does
+        not occur, so no row compares equal); numeric columns pass through.
+        """
+        return self.tables[alias].column(column).encode(value)
 
     def is_empty(self) -> bool:
         """Whether any table has no surviving tuples (empty join result)."""
@@ -134,10 +185,31 @@ def _build_join_maps(prepared: PreprocessedQuery, meter: CostMeter) -> None:
         column = table.column(column_name)
         positions = prepared.filtered[alias]
         meter.charge_probe(int(positions.shape[0]))
-        buckets: dict[Any, list[int]] = {}
-        for filtered_index, base_position in enumerate(positions):
-            value = column.value(int(base_position))
-            buckets.setdefault(value, []).append(filtered_index)
-        prepared.join_maps[(alias, column_name)] = {
-            value: np.asarray(indices, dtype=np.int64) for value, indices in buckets.items()
-        }
+        prepared.join_maps[(alias, column_name)] = _group_by_value(column, positions)
+
+
+def _group_by_value(column, positions: np.ndarray) -> dict[Any, np.ndarray]:
+    """Group filtered-array indices by decoded column value, vectorized.
+
+    A stable argsort keeps the indices of equal keys in ascending order,
+    which the hash-jump relies on (``searchsorted`` over each bucket).
+    """
+    if positions.shape[0] == 0:
+        return {}
+    physical = column.data[positions]
+    sorter = np.argsort(physical, kind="stable")
+    sorted_values = physical[sorter]
+    boundaries = np.nonzero(np.diff(sorted_values))[0] + 1
+    buckets = np.split(sorter.astype(np.int64, copy=False), boundaries)
+    starts = np.concatenate(([0], boundaries))
+    result: dict[Any, np.ndarray] = {}
+    for start, bucket in zip(starts, buckets):
+        raw = sorted_values[start]
+        if column.ctype is ColumnType.STRING:
+            key: Any = column.dictionary[int(raw)]
+        elif column.ctype is ColumnType.INT:
+            key = int(raw)
+        else:
+            key = float(raw)
+        result[key] = bucket
+    return result

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.engine.relation import RowIdRelation
 
 
@@ -46,6 +48,21 @@ class JoinResultSet:
             if self.add(index_tuple):
                 added += 1
         return added
+
+    def add_batch(self, matrix: np.ndarray) -> int:
+        """Bulk-add a ``(rows, aliases)`` int matrix of index vectors.
+
+        Used by the batched multi-way join to emit a whole surviving batch in
+        one call.  ``ndarray.tolist`` yields plain Python ints, so the stored
+        keys are identical to those produced by :meth:`add`.
+        """
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._aliases):
+            raise ValueError("batch shape must be (rows, num_aliases)")
+        tuples = self._tuples
+        before = len(tuples)
+        tuples.update(map(tuple, matrix.tolist()))
+        return len(tuples) - before
 
     def tuples(self) -> list[tuple[int, ...]]:
         """All stored index vectors (unordered)."""

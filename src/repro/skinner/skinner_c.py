@@ -102,7 +102,12 @@ class SkinnerC:
             seed=self._config.seed,
         )
         tracker = ProgressTracker(prepared.aliases, share_prefixes=self._config.share_progress)
-        join = MultiwayJoin(prepared, self._udfs, use_hash_jump=self._config.use_hash_jump)
+        join = MultiwayJoin(
+            prepared,
+            self._udfs,
+            use_hash_jump=self._config.use_hash_jump,
+            batch_size=self._config.batch_size,
+        )
         compute_reward = reward_function(self._config.reward_function)
         rng = random.Random(self._config.seed)
         graph = query.join_graph()
@@ -195,7 +200,12 @@ class SkinnerC:
             for filtered_index in range(prepared.cardinality(prepared.aliases[0])):
                 result_set.add((prepared.base_row(prepared.aliases[0], filtered_index),))
         elif not prepared.is_empty():
-            join = MultiwayJoin(prepared, self._udfs, use_hash_jump=self._config.use_hash_jump)
+            join = MultiwayJoin(
+                prepared,
+                self._udfs,
+                use_hash_jump=self._config.use_hash_jump,
+                batch_size=self._config.batch_size,
+            )
             state = JoinState(tuple(order))
             offsets = {alias: 0 for alias in prepared.aliases}
             finished = False

@@ -69,6 +69,67 @@ class TestCostMeter:
         assert meter.total == 0
         assert meter.budget == 100
 
+    def test_clamp_batch_unlimited_meter_passes_through(self):
+        assert CostMeter().clamp_batch(10_000) == 10_000
+
+    def test_clamp_batch_limits_to_remaining_budget(self):
+        meter = CostMeter(budget=100)
+        meter.charge_scan(60)
+        assert meter.clamp_batch(10_000) == 40
+        assert meter.clamp_batch(25) == 25
+
+    def test_clamp_batch_never_below_one(self):
+        meter = CostMeter(budget=10)
+        meter.charge_scan(10)
+        assert meter.clamp_batch(10_000) == 1
+
+    def test_clamp_batch_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CostMeter().clamp_batch(0)
+
+
+class TestBatchBudgetClamping:
+    """Regression: a single large batch must not overshoot a budget unbounded."""
+
+    def _joinable_catalog(self, rows=400):
+        from repro.storage.catalog import Catalog
+        from repro.storage.table import Table
+
+        catalog = Catalog()
+        catalog.add_table(Table("a", {"k": [i % 7 for i in range(rows)]}))
+        catalog.add_table(Table("b", {"k": [i % 7 for i in range(rows)]}))
+        return catalog
+
+    def test_batched_join_overshoot_is_bounded(self):
+        from repro.query.predicates import column_equals_column
+        from repro.query.query import make_query
+        from repro.skinner.multiway_join import MultiwayJoin
+        from repro.skinner.preprocessor import preprocess
+        from repro.skinner.result_set import JoinResultSet
+        from repro.skinner.state import initial_state
+
+        catalog = self._joinable_catalog()
+        query = make_query(
+            [("a", "a"), ("b", "b")],
+            predicates=[column_equals_column("a", "k", "b", "k")],
+        )
+        prepared = preprocess(catalog, query)
+        budget = 50
+        batch_size = 10_000
+        meter = CostMeter(budget=budget)
+        join = MultiwayJoin(prepared, batch_size=batch_size)
+        offsets = {alias: 0 for alias in prepared.aliases}
+        state = initial_state(("a", "b"), offsets)
+        results = JoinResultSet(prepared.aliases)
+        with pytest.raises(BudgetExceeded):
+            while not join.continue_join(state, offsets, 1_000_000, results, meter):
+                pass
+        # Without clamping, the very first scan batch would charge the full
+        # 10_000-tuple batch; with clamping the recorded overshoot is bounded
+        # by one remaining-budget-sized chunk per charge kind.
+        assert meter.total <= 3 * budget
+        assert meter.total < batch_size
+
 
 class TestProfiles:
     def test_known_profiles(self):

@@ -1,7 +1,5 @@
 """Tests for the depth-first multi-way join (Algorithm 2)."""
 
-import pytest
-
 from repro.engine.meter import CostMeter
 from repro.query.predicates import column_compare_literal, column_equals_column, udf_predicate
 from repro.query.query import make_query
@@ -9,7 +7,7 @@ from repro.query.udf import UdfRegistry
 from repro.skinner.multiway_join import MultiwayJoin
 from repro.skinner.preprocessor import preprocess
 from repro.skinner.result_set import JoinResultSet
-from repro.skinner.state import JoinState, initial_state
+from repro.skinner.state import initial_state
 from tests.conftest import reference_join_tuples
 
 
