@@ -59,11 +59,13 @@ class EddyEngine:
         *,
         profile: str | EngineProfile = "skinner",
         threads: int = 1,
+        postprocess_mode: str = "columnar",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
         self._profile = profile if isinstance(profile, EngineProfile) else get_profile(profile)
         self._threads = threads
+        self._postprocess_mode = postprocess_mode
 
     @property
     def name(self) -> str:
@@ -91,7 +93,8 @@ class EddyEngine:
                 else:
                     self._route_all(prepared, result_set, meter)
             relation = result_set.to_relation()
-            output = post_process(query, relation, prepared.tables, self._udfs, meter)
+            output = post_process(query, relation, prepared.tables, self._udfs, meter,
+                                  mode=self._postprocess_mode)
         except BudgetExceeded:
             timed_out = True
             result_set = JoinResultSet(tuple(query.aliases))

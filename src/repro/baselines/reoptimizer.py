@@ -70,10 +70,12 @@ class ReOptimizerEngine:
         validation_factor: float = 3.0,
         max_rounds: int = 5,
         threads: int = 1,
+        postprocess_mode: str = "columnar",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
         self._statistics = statistics
+        self._postprocess_mode = postprocess_mode
         self._profile = profile if isinstance(profile, EngineProfile) else get_profile(profile)
         self._sample_fraction = sample_fraction
         self._sample_limit = sample_limit
@@ -116,7 +118,8 @@ class ReOptimizerEngine:
                         break
                     plan = new_plan
             relation = executor.execute_order(list(plan.order), meter)
-            output = post_process(query, relation, executor.tables, self._udfs, meter)
+            output = post_process(query, relation, executor.tables, self._udfs, meter,
+                                  mode=self._postprocess_mode)
         except BudgetExceeded:
             timed_out = True
             output = Table("result", {})

@@ -51,6 +51,9 @@ class TraditionalEngine:
         ``"dp"`` (exhaustive left-deep DP, the default) or ``"greedy"``.
     threads:
         Threads modelled when converting work to simulated time.
+    postprocess_mode:
+        Post-processing pipeline (``"columnar"`` or ``"rows"``); see
+        :func:`repro.engine.postprocess.post_process`.
     """
 
     def __init__(
@@ -62,6 +65,7 @@ class TraditionalEngine:
         profile: str | EngineProfile = "postgres",
         optimizer: str = "dp",
         threads: int = 1,
+        postprocess_mode: str = "columnar",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
@@ -71,6 +75,7 @@ class TraditionalEngine:
             raise ValueError("optimizer must be 'dp', 'greedy', or 'size_heuristic'")
         self._optimizer = optimizer
         self._threads = threads
+        self._postprocess_mode = postprocess_mode
 
     @property
     def name(self) -> str:
@@ -134,7 +139,8 @@ class TraditionalEngine:
                 relation = executor.execute_order(list(query.aliases), meter)
             else:
                 relation = executor.execute_order(order, meter)
-            output = post_process(query, relation, executor.tables, self._udfs, meter)
+            output = post_process(query, relation, executor.tables, self._udfs, meter,
+                                  mode=self._postprocess_mode)
         except BudgetExceeded:
             timed_out = True
             output = Table("result", {})

@@ -33,6 +33,12 @@ class SkinnerConfig:
         ``"scaled_deltas"`` (the refined reward summing scaled tuple-index
         deltas) or ``"leftmost"`` (progress in the left-most table only, the
         simpler reward analyzed in §5).
+    postprocess_mode:
+        ``"columnar"`` (the default) runs projection, aggregation, DISTINCT,
+        and ORDER BY as NumPy operations over the join result's row-id
+        vectors; ``"rows"`` selects the tuple-at-a-time reference pipeline
+        (the pre-vectorization behavior, kept for A/B comparisons).  Queries
+        with UDF-bearing output expressions always use the row pipeline.
     use_hash_jump:
         Whether Skinner-C jumps tuple indices via hash lookups for equality
         join predicates.
@@ -58,6 +64,7 @@ class SkinnerConfig:
 
     slice_budget: int = 500
     batch_size: int = 1024
+    postprocess_mode: str = "columnar"
     exploration_weight: float = SKINNER_C_EXPLORATION_WEIGHT
     reward_function: str = "scaled_deltas"
     use_hash_jump: bool = True

@@ -24,6 +24,13 @@ import numpy as np
 
 from repro.engine.meter import CostMeter
 from repro.engine.relation import RowIdRelation
+from repro.engine.vectorized import (
+    VECTOR_COMPARATORS,
+    NotVectorizable,
+    evaluate_value,
+    vectorizable,
+)
+from repro.query.expressions import ColumnRef
 from repro.query.predicates import Predicate
 from repro.query.udf import UdfRegistry
 from repro.storage.table import Table
@@ -56,11 +63,12 @@ def _unary_mask(
     udfs: UdfRegistry | None,
 ) -> np.ndarray:
     """Boolean mask over ``positions`` for one unary predicate."""
-    from repro.query.expressions import ColumnRef, Literal
+    from repro.query.expressions import Literal
 
     meter.charge_predicate(positions.shape[0])
-    if predicate.uses_udf:
-        meter.charge_udf(positions.shape[0] * max(1, predicate.udf_cost(udfs) - 1))
+    per_row = predicate.udf_cost(udfs) - 1
+    if per_row > 0:  # meter only actual (registered) UDF invocations
+        meter.charge_udf(positions.shape[0] * per_row)
     # Fast path: column <op> literal without UDFs.
     if (
         predicate.op is not None
@@ -71,11 +79,44 @@ def _unary_mask(
         column = table.column(predicate.left.column)
         full_mask = column.compare(predicate.op, predicate.right.value)
         return full_mask[positions]
-    # Generic path: evaluate tuple at a time.
+    # Vectorized path for the remaining UDF-free comparisons (arithmetic
+    # expressions, reversed literal order, ...) over decoded column arrays.
+    if _comparison_vectorizable(predicate):
+        def resolve(ref: ColumnRef) -> np.ndarray:
+            return table.column(ref.column).decoded_data[positions]
+
+        mask = _vector_comparison_mask(predicate, resolve, int(positions.shape[0]))
+        if mask is not None:
+            return mask
+    # Generic path: evaluate tuple at a time (UDFs, bare boolean expressions).
     mask = np.zeros(positions.shape[0], dtype=bool)
     for i, position in enumerate(positions):
         binding = {alias: table.row(int(position))}
         mask[i] = predicate.evaluate(binding, udfs)
+    return mask
+
+
+def _comparison_vectorizable(predicate: Predicate) -> bool:
+    """Whether the predicate is a UDF-free comparison of vectorizable sides."""
+    return (
+        predicate.op in VECTOR_COMPARATORS
+        and predicate.right is not None
+        and not predicate.uses_udf
+        and vectorizable(predicate.left)
+        and vectorizable(predicate.right)
+    )
+
+
+def _vector_comparison_mask(predicate: Predicate, resolve, length: int) -> np.ndarray | None:
+    """Evaluate a comparison predicate over arrays; ``None`` to fall back."""
+    try:
+        left = evaluate_value(predicate.left, resolve)
+        right = evaluate_value(predicate.right, resolve)
+        mask = np.asarray(VECTOR_COMPARATORS[predicate.op](left, right), dtype=bool)
+    except NotVectorizable:
+        return None
+    if mask.ndim == 0:  # incomparable scalar fallout: uniform truth value
+        return np.full(length, bool(mask))
     return mask
 
 
@@ -152,22 +193,39 @@ def _apply_residual(
     meter: CostMeter,
     udfs: UdfRegistry | None,
 ) -> RowIdRelation:
-    """Filter a candidate relation by tuple-at-a-time predicates."""
+    """Filter a candidate relation by residual predicates.
+
+    Predicates are applied sequentially to the shrinking survivor set, so
+    the work charged matches the former row-at-a-time loop's short-circuit
+    exactly.  UDF-free comparisons are evaluated vectorized over decoded
+    column arrays; only UDF predicates (and bare boolean expressions) pay
+    the per-row binding cost.
+    """
     if not predicates or len(candidate) == 0:
         return candidate
-    keep = np.zeros(len(candidate), dtype=bool)
-    for row in range(len(candidate)):
-        binding = candidate.binding(row, tables)
-        ok = True
-        for predicate in predicates:
-            meter.charge_predicate(1)
-            if predicate.uses_udf:
-                meter.charge_udf(max(1, predicate.udf_cost(udfs) - 1))
-            if not predicate.evaluate(binding, udfs):
-                ok = False
-                break
-        keep[row] = ok
-    return candidate.take(np.flatnonzero(keep))
+    selector = np.arange(len(candidate), dtype=np.int64)
+    for predicate in predicates:
+        if selector.shape[0] == 0:
+            break
+        length = int(selector.shape[0])
+        meter.charge_predicate(length)
+        per_row = predicate.udf_cost(udfs) - 1
+        if per_row > 0:  # meter only actual (registered) UDF invocations
+            meter.charge_udf(length * per_row)
+        mask = None
+        if _comparison_vectorizable(predicate):
+            def resolve(ref: ColumnRef) -> np.ndarray:
+                ids = candidate.ids(ref.table)[selector]
+                return tables[ref.table].column(ref.column).decoded_data[ids]
+
+            mask = _vector_comparison_mask(predicate, resolve, length)
+        if mask is None:
+            mask = np.zeros(length, dtype=bool)
+            for i, row in enumerate(selector.tolist()):
+                binding = candidate.binding(row, tables)
+                mask[i] = predicate.evaluate(binding, udfs)
+        selector = selector[mask]
+    return candidate.take(selector)
 
 
 # ----------------------------------------------------------------------

@@ -53,7 +53,14 @@ class RowIdRelation:
         """Build from a list of index tuples ordered like ``aliases``."""
         if not tuples:
             return cls.empty(aliases)
-        matrix = np.asarray(tuples, dtype=np.int64)
+        return cls.from_matrix(aliases, np.asarray(tuples, dtype=np.int64))
+
+    @classmethod
+    def from_matrix(cls, aliases: Sequence[str], matrix: np.ndarray) -> "RowIdRelation":
+        """Build from a ``(rows, aliases)`` int64 matrix (one column per alias)."""
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(aliases):
+            raise ExecutionError("matrix shape must be (rows, num_aliases)")
         return cls({alias: matrix[:, i] for i, alias in enumerate(aliases)})
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from typing import Any
 import numpy as np
 
 from repro.engine.meter import CostMeter
+from repro.engine.vectorized import NotVectorizable, broadcast, evaluate_value, vectorizable
 from repro.query.expressions import ColumnRef
 from repro.query.predicates import _COMPARATORS, Predicate
 from repro.query.udf import UdfRegistry
@@ -76,15 +77,18 @@ class _PredicatePlan:
     """How to evaluate one newly applicable predicate over a candidate batch.
 
     ``vectorized`` plans compare the batch position's physical column values
-    against the single value fixed by an earlier position.  Everything else
-    (UDFs, expressions, mixed string/numeric comparisons) falls back to
-    row-at-a-time evaluation over the batch, which matches the scalar
-    executor's behavior exactly.
+    against the single value fixed by an earlier position.  ``expression``
+    plans evaluate both sides of a UDF-free comparison over decoded column
+    arrays (built-in arithmetic, literals, string columns as ``object``
+    arrays) — the generic fallback, vectorized.  Only true UDF predicates
+    (and bare boolean expressions) remain row-at-a-time over the batch,
+    which matches the scalar executor's behavior exactly.
     """
 
     predicate: Predicate
     aliases: tuple[str, ...]
     vectorized: bool = False
+    expression: bool = False
     own_column: str | None = None
     op: str | None = None
     own_is_string: bool = False
@@ -272,6 +276,13 @@ class MultiwayJoin:
             or not isinstance(right, ColumnRef)
             or left.table == right.table
         ):
+            plan.expression = (
+                op in _VECTOR_OPS
+                and right is not None
+                and not predicate.uses_udf
+                and vectorizable(left)
+                and vectorizable(right)
+            )
             return plan
         if left.table == alias:
             own, other = left, right
@@ -286,9 +297,11 @@ class MultiwayJoin:
         own_is_string = own_type is ColumnType.STRING
         other_is_string = other_type is ColumnType.STRING
         if own_is_string != other_is_string:
-            return plan  # mixed string/numeric: row-at-a-time Python semantics
+            plan.expression = True  # mixed string/numeric: decoded Python semantics
+            return plan
         if own_is_string and op not in ("=", "!="):
-            return plan  # ordering on strings: compare decoded values row-wise
+            plan.expression = True  # ordering on strings: compare decoded arrays
+            return plan
         earlier = {a: p for p, a in enumerate(order[:position])}
         plan.vectorized = True
         plan.own_column = own.column
@@ -572,9 +585,49 @@ class MultiwayJoin:
                 else:
                     mask = _VECTOR_OPS[plan.op](own_values, other_value)
                 candidates = candidates[mask]
-            else:
-                candidates = self._filter_generic(context, plan, alias, state, candidates, meter)
+                continue
+            if plan.expression:
+                filtered = self._filter_expression(context, plan, alias, state, candidates)
+                if filtered is not None:
+                    candidates = filtered
+                    continue
+            candidates = self._filter_generic(context, plan, alias, state, candidates, meter)
         return candidates
+
+    def _filter_expression(
+        self,
+        context: _OrderContext,
+        plan: _PredicatePlan,
+        alias: str,
+        state: JoinState,
+        candidates: np.ndarray,
+    ) -> np.ndarray | None:
+        """Vectorized evaluation of a UDF-free comparison over decoded arrays.
+
+        Columns of the batch alias resolve to decoded column arrays sliced by
+        the candidate run; columns of earlier positions resolve to the single
+        decoded value those positions have fixed.  Returns ``None`` when the
+        expression turns out not to vectorize after all (e.g. arithmetic on
+        strings) so the caller can take the row-at-a-time path instead.
+        """
+        prepared = self._prepared
+        position_of = context.order_positions
+
+        def resolve(ref: ColumnRef) -> Any:
+            if ref.table == alias:
+                return prepared.decoded_array(alias, ref.column)[candidates]
+            return prepared.value_at(ref.table, ref.column, state.indices[position_of[ref.table]])
+
+        predicate = plan.predicate
+        try:
+            left = evaluate_value(predicate.left, resolve)
+            right = evaluate_value(predicate.right, resolve)
+            mask = np.asarray(_VECTOR_OPS[predicate.op](left, right), dtype=bool)
+        except NotVectorizable:
+            return None
+        if mask.ndim == 0:  # incomparable scalar fallout: uniform truth value
+            mask = broadcast(bool(mask), int(candidates.shape[0])).astype(bool)
+        return candidates[mask]
 
     def _filter_generic(
         self,
@@ -588,8 +641,11 @@ class MultiwayJoin:
         """Row-at-a-time fallback for UDF and non-columnar predicates."""
         prepared = self._prepared
         predicate = plan.predicate
-        if predicate.uses_udf:
-            per_row = max(1, predicate.udf_cost(self._udfs) - 1)
+        # Meter only actual UDF invocations: ``udf_cost - 1`` is the summed
+        # per-evaluation cost of the predicate's *registered* UDFs, so rows
+        # wrapped for non-UDF generic predicates charge no UDF work.
+        per_row = predicate.udf_cost(self._udfs) - 1
+        if per_row > 0:
             meter.charge_udf(per_row * int(candidates.shape[0]))
         position_of = context.order_positions
         fixed: dict[str, dict[str, Any]] = {
@@ -684,8 +740,9 @@ class MultiwayJoin:
             for alias in aliases:
                 binding[alias] = prepared.binding_for(alias, state.indices[position_of[alias]])
             meter.charge_predicate(1)
-            if predicate.uses_udf:
-                meter.charge_udf(max(1, predicate.udf_cost(self._udfs) - 1))
+            per_row = predicate.udf_cost(self._udfs) - 1
+            if per_row > 0:  # meter only actual (registered) UDF invocations
+                meter.charge_udf(per_row)
             if not predicate.evaluate(binding, self._udfs):
                 return False
         return True

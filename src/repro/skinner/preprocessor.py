@@ -60,6 +60,9 @@ class PreprocessedQuery:
     _decoded_cache: dict[tuple[str, str], list[Any]] = field(
         default_factory=dict, repr=False
     )
+    _decoded_array_cache: dict[tuple[str, str], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
 
     def cardinality(self, alias: str) -> int:
         """Filtered cardinality of a table."""
@@ -117,6 +120,22 @@ class PreprocessedQuery:
         if cached is None:
             cached = self.tables[alias].column(column).data[self.filtered[alias]]
             self._physical_cache[key] = cached
+        return cached
+
+    def decoded_array(self, alias: str, column: str) -> np.ndarray:
+        """Decoded values of ``alias.column`` over the filtered tuple array.
+
+        Numeric columns are the physical arrays; string columns are decoded
+        to ``object`` arrays of Python strings, so the vectorized generic
+        predicate fallback compares with exact Python semantics.  Cached like
+        :meth:`physical_column` (the batched executor slices these per batch).
+        """
+        key = (alias, column)
+        cached = self._decoded_array_cache.get(key)
+        if cached is None:
+            col = self.tables[alias].column(column)
+            cached = col.decoded_data[self.filtered[alias]]
+            self._decoded_array_cache[key] = cached
         return cached
 
     def encode_for(self, alias: str, column: str, value: Any) -> Any:

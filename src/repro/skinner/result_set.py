@@ -68,10 +68,25 @@ class JoinResultSet:
         """All stored index vectors (unordered)."""
         return list(self._tuples)
 
+    def to_matrix(self) -> np.ndarray:
+        """The stored index vectors as a ``(rows, aliases)`` int64 matrix.
+
+        Rows are sorted lexicographically (same order ``sorted`` gives the
+        tuples), so downstream consumers — materialization, the columnar
+        post-processing pipeline — see a deterministic row order regardless
+        of which join orders produced the tuples.
+        """
+        if not self._tuples:
+            return np.empty((0, len(self._aliases)), dtype=np.int64)
+        matrix = np.array(list(self._tuples), dtype=np.int64)
+        if matrix.ndim == 1:  # zero aliases cannot happen, but be explicit
+            matrix = matrix.reshape(len(self._tuples), -1)
+        order = np.lexsort(matrix.T[::-1])
+        return matrix[order]
+
     def to_relation(self) -> RowIdRelation:
         """Materialize the set as a row-id relation over the alias order."""
-        ordered = sorted(self._tuples)
-        return RowIdRelation.from_index_tuples(self._aliases, ordered)
+        return RowIdRelation.from_matrix(self._aliases, self.to_matrix())
 
     def estimated_bytes(self) -> int:
         """Rough memory footprint: 8 bytes per stored index."""

@@ -149,7 +149,8 @@ class SkinnerC:
                 )
 
         relation = result_set.to_relation()
-        output = post_process(query, relation, prepared.tables, self._udfs, join_meter)
+        output = post_process(query, relation, prepared.tables, self._udfs, join_meter,
+                              mode=self._config.postprocess_mode)
 
         total_meter = CostMeter()
         total_meter.merge(pre_meter)
@@ -214,7 +215,8 @@ class SkinnerC:
                     state, offsets, self._config.slice_budget, result_set, meter
                 )
         relation = result_set.to_relation()
-        output = post_process(query, relation, prepared.tables, self._udfs, meter)
+        output = post_process(query, relation, prepared.tables, self._udfs, meter,
+                              mode=self._config.postprocess_mode)
         work = meter.snapshot()
         metrics = QueryMetrics(
             engine=f"{self.name}(forced)",

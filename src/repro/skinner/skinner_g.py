@@ -211,7 +211,8 @@ class SkinnerG:
         extra_work: CostMeter | None = None,
     ) -> QueryResult:
         relation = run.result_set.to_relation()
-        output = post_process(query, relation, run.executor.tables, self._udfs, run.meter)
+        output = post_process(query, relation, run.executor.tables, self._udfs, run.meter,
+                              mode=self._config.postprocess_mode)
         total = CostMeter()
         total.merge(run.meter)
         if extra_work is not None:

@@ -103,7 +103,8 @@ class SkinnerH:
                 relation = executor.execute_order(plan.order, attempt_meter)
                 traditional_meter.merge(attempt_meter)
                 output = post_process(query, relation, executor.tables, self._udfs,
-                                      traditional_meter)
+                                      traditional_meter,
+                                      mode=self._config.postprocess_mode)
                 return self._traditional_result(
                     query, output, plan, run, traditional_meter, started, round_index
                 )

@@ -40,7 +40,7 @@ class Column:
         inferred from the values.
     """
 
-    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of")
+    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of", "_decoded")
 
     def __init__(self, values: Iterable[Any], ctype: ColumnType | None = None) -> None:
         values = list(values) if not isinstance(values, np.ndarray) else values
@@ -49,6 +49,7 @@ class Column:
         self._ctype = ctype
         self._dictionary: list[str] | None = None
         self._code_of: dict[str, int] | None = None
+        self._decoded: np.ndarray | None = None
         if ctype is ColumnType.INT:
             self._data = np.asarray(values, dtype=np.int64)
         elif ctype is ColumnType.FLOAT:
@@ -73,6 +74,21 @@ class Column:
     def data(self) -> np.ndarray:
         """The physical numpy array (codes for string columns)."""
         return self._data
+
+    @property
+    def decoded_data(self) -> np.ndarray:
+        """Decoded values as an array, cached after the first access.
+
+        Numeric columns return the physical array itself; string columns
+        return an ``object`` array of Python strings (one dictionary gather,
+        shared by every vectorized consumer), so elementwise comparisons and
+        sorting keep exact Python semantics.
+        """
+        if self._ctype is not ColumnType.STRING:
+            return self._data
+        if self._decoded is None:
+            self._decoded = np.asarray(self.dictionary, dtype=object)[self._data]
+        return self._decoded
 
     @property
     def dictionary(self) -> list[str]:
@@ -241,4 +257,5 @@ def _from_physical(data: np.ndarray, ctype: ColumnType) -> Column:
     column._data = data
     column._dictionary = None
     column._code_of = None
+    column._decoded = None
     return column

@@ -133,7 +133,9 @@ class TestExperimentDrivers:
     def test_registry_contains_all_tables_and_figures(self):
         from repro.bench.experiments import EXPERIMENTS
 
-        expected = {f"table{i}" for i in range(1, 8)} | {f"figure{i}" for i in range(6, 14)}
+        expected = ({f"table{i}" for i in range(1, 8)}
+                    | {f"figure{i}" for i in range(6, 14)}
+                    | {"postprocess_pipeline"})
         assert set(EXPERIMENTS) == expected
 
     def test_figure12_tiny_run_has_expected_shape(self):
