@@ -15,8 +15,11 @@ regressions.  Two metrics are gated per benchmark:
   inputs, so only real interpreter-level blowups trip it.
 
 A markdown delta table is printed, and appended to ``$GITHUB_STEP_SUMMARY``
-when that variable is set (or to ``--summary PATH``).  Refresh the baseline
-with ``--update`` after an intentional performance change (see docs/ci.md).
+when that variable is set (or to ``--summary PATH``).  A benchmark present
+in the artifacts but missing from the baseline also fails the gate (status
+``NO BASELINE``) with a pointer to the fix, so newly added benchmarks cannot
+ship ungated.  Refresh the baseline with ``--update`` after an intentional
+performance change or when adding a benchmark (see docs/ci.md).
 
 Usage::
 
@@ -87,11 +90,15 @@ def compare(
             failed = True
             continue
         if base is None:
+            # A benchmark without a committed baseline entry cannot be
+            # gated; fail loudly so the entry is added with the benchmark
+            # instead of the gate silently passing on new code paths.
             rows.append({
-                "benchmark": name, "status": "new (not in baseline)",
+                "benchmark": name, "status": "NO BASELINE",
                 "wall": f"{current['wall_time_seconds']:.2f}s", "wall_delta": "n/a",
                 "work": f"{current['work_fingerprint']:,.0f}", "work_delta": "n/a",
             })
+            failed = True
             continue
         regressions = []
         base_wall = float(base.get("wall_time_seconds", 0.0))
@@ -170,6 +177,15 @@ def main(argv: list[str] | None = None) -> int:
     if summary_path is not None:
         with summary_path.open("a") as handle:
             handle.write(markdown)
+    missing_baseline = [row["benchmark"] for row in rows if row["status"] == "NO BASELINE"]
+    if missing_baseline:
+        print(
+            f"benchmark(s) {', '.join(missing_baseline)} have no entry in "
+            f"{args.baseline}; run `python benchmarks/compare_baseline.py "
+            f"{args.artifact_dir} --update` and commit the refreshed baseline "
+            "together with the new benchmark (see docs/ci.md)",
+            file=sys.stderr,
+        )
     if failed:
         print("bench regression gate FAILED", file=sys.stderr)
         return 1

@@ -21,6 +21,7 @@ import time
 from typing import Any
 
 from repro.engine.meter import CostMeter
+from repro.engine.operators import validate_join_mode
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
 from repro.errors import BudgetExceeded
@@ -50,7 +51,14 @@ class _OperatorStats:
 
 
 class EddyEngine:
-    """Adaptive per-tuple routing baseline."""
+    """Adaptive per-tuple routing baseline.
+
+    ``join_mode`` is accepted (and validated) for constructor uniformity
+    with the other plan-running baselines; the router itself is inherently
+    tuple-at-a-time, so both modes probe the same dict-based join maps —
+    which the preprocessor now builds via the shared vectorized grouping
+    kernel either way.
+    """
 
     def __init__(
         self,
@@ -60,12 +68,14 @@ class EddyEngine:
         profile: str | EngineProfile = "skinner",
         threads: int = 1,
         postprocess_mode: str = "columnar",
+        join_mode: str = "vectorized",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
         self._profile = profile if isinstance(profile, EngineProfile) else get_profile(profile)
         self._threads = threads
         self._postprocess_mode = postprocess_mode
+        self._join_mode = validate_join_mode(join_mode)
 
     @property
     def name(self) -> str:

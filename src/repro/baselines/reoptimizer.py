@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.engine.executor import PlanExecutor
 from repro.engine.meter import CostMeter
+from repro.engine.operators import validate_join_mode
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
 from repro.errors import BudgetExceeded
@@ -71,11 +72,13 @@ class ReOptimizerEngine:
         max_rounds: int = 5,
         threads: int = 1,
         postprocess_mode: str = "columnar",
+        join_mode: str = "vectorized",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
         self._statistics = statistics
         self._postprocess_mode = postprocess_mode
+        self._join_mode = validate_join_mode(join_mode)
         self._profile = profile if isinstance(profile, EngineProfile) else get_profile(profile)
         self._sample_fraction = sample_fraction
         self._sample_limit = sample_limit
@@ -100,7 +103,8 @@ class ReOptimizerEngine:
             self._statistics = StatisticsCatalog.collect(self._catalog)
         base = EstimatedCardinality(query, self._statistics, self._udfs)
         estimator = _CorrectedEstimator(base)
-        executor = PlanExecutor(self._catalog, query, self._udfs)
+        executor = PlanExecutor(self._catalog, query, self._udfs,
+                                join_mode=self._join_mode)
         timed_out = False
         rounds = 0
         plan = self._optimize(query, estimator)
@@ -190,7 +194,8 @@ class ReOptimizerEngine:
         from repro.engine.executor import _restrict_query
 
         sub_query = _restrict_query(query, list(prefix))
-        sub_executor = PlanExecutor(self._catalog, sub_query, self._udfs)
+        sub_executor = PlanExecutor(self._catalog, sub_query, self._udfs,
+                                    join_mode=self._join_mode)
         filtered = {alias: executor.filtered_positions(alias) for alias in prefix}
         filtered[prefix[0]] = sample
         sub_executor._filtered = filtered

@@ -15,6 +15,7 @@ from collections.abc import Sequence
 
 from repro.engine.executor import PlanExecutor
 from repro.engine.meter import CostMeter
+from repro.engine.operators import validate_join_mode
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
 from repro.errors import BudgetExceeded
@@ -54,6 +55,9 @@ class TraditionalEngine:
     postprocess_mode:
         Post-processing pipeline (``"columnar"`` or ``"rows"``); see
         :func:`repro.engine.postprocess.post_process`.
+    join_mode:
+        Hash-join implementation of the plan executor (``"vectorized"`` or
+        ``"rows"``); see :func:`repro.engine.operators.hash_join_step`.
     """
 
     def __init__(
@@ -66,6 +70,7 @@ class TraditionalEngine:
         optimizer: str = "dp",
         threads: int = 1,
         postprocess_mode: str = "columnar",
+        join_mode: str = "vectorized",
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
@@ -76,6 +81,7 @@ class TraditionalEngine:
         self._optimizer = optimizer
         self._threads = threads
         self._postprocess_mode = postprocess_mode
+        self._join_mode = validate_join_mode(join_mode)
 
     @property
     def name(self) -> str:
@@ -132,7 +138,8 @@ class TraditionalEngine:
         else:
             plan = self.plan(query)
             order = plan.order
-        executor = PlanExecutor(self._catalog, query, self._udfs)
+        executor = PlanExecutor(self._catalog, query, self._udfs,
+                                join_mode=self._join_mode)
         timed_out = False
         try:
             if query.num_tables == 1:

@@ -17,6 +17,7 @@ from repro.bench.experiments_figures import (
     figure12,
     figure13,
 )
+from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
 from repro.bench.experiments_tables import (
     table1,
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "figure11": figure11,
     "figure12": figure12,
     "figure13": figure13,
+    "hashjoin_kernel": hashjoin_kernel,
     "postprocess_pipeline": postprocess_pipeline,
 }
 

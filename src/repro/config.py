@@ -39,6 +39,13 @@ class SkinnerConfig:
         vectors; ``"rows"`` selects the tuple-at-a-time reference pipeline
         (the pre-vectorization behavior, kept for A/B comparisons).  Queries
         with UDF-bearing output expressions always use the row pipeline.
+    join_mode:
+        Hash-join implementation of the left-deep plan executor (used by
+        Skinner-G/H and the baselines): ``"vectorized"`` (the default) runs
+        the columnar build/probe kernel of
+        :mod:`repro.engine.joinkernels`; ``"rows"`` selects the dict-based
+        tuple-at-a-time reference path, kept for A/B comparisons.  Both
+        modes produce byte-identical join results and meter charges.
     use_hash_jump:
         Whether Skinner-C jumps tuple indices via hash lookups for equality
         join predicates.
@@ -65,6 +72,7 @@ class SkinnerConfig:
     slice_budget: int = 500
     batch_size: int = 1024
     postprocess_mode: str = "columnar"
+    join_mode: str = "vectorized"
     exploration_weight: float = SKINNER_C_EXPLORATION_WEIGHT
     reward_function: str = "scaled_deltas"
     use_hash_jump: bool = True

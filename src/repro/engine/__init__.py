@@ -17,17 +17,36 @@ substitution rationale.
 """
 
 from repro.engine.executor import PlanExecutor
+from repro.engine.joinkernels import (
+    CompositeKeys,
+    GroupedRows,
+    KeyPart,
+    encode_composite_keys,
+    expand_matches,
+    group_rows,
+    probe_grouped,
+)
 from repro.engine.meter import CostMeter, WorkBreakdown
+from repro.engine.operators import JOIN_MODES, validate_join_mode
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
 from repro.engine.relation import RowIdRelation
 
 __all__ = [
+    "JOIN_MODES",
+    "CompositeKeys",
     "CostMeter",
     "EngineProfile",
+    "GroupedRows",
+    "KeyPart",
     "PlanExecutor",
     "RowIdRelation",
     "WorkBreakdown",
+    "encode_composite_keys",
+    "expand_matches",
     "get_profile",
+    "group_rows",
     "post_process",
+    "probe_grouped",
+    "validate_join_mode",
 ]

@@ -1,0 +1,286 @@
+"""Vectorized equi-join kernel primitives: key encoding, grouping, probing.
+
+The plan executor's hash join and the Skinner preprocessor's join-map build
+used to run as Python dict loops — one tuple construction, one dict lookup,
+and one list append per row.  This module provides the columnar equivalents
+they now share:
+
+* :func:`encode_composite_keys` — turn the (possibly composite) equi-join
+  key of both join sides into **one int64 code vector per side**, such that
+  code equality is exactly value-tuple equality.  String columns reuse their
+  dictionary codes from :class:`repro.storage.column.Column` (the probe
+  side's dictionary is translated into the build side's code space); numeric
+  columns are factorized jointly over both sides via ``np.unique``.
+* :func:`group_rows` — group a key vector into sorted runs
+  (``np.argsort`` + run boundaries), the columnar replacement for building a
+  ``dict[key, list[row]]`` hash table.
+* :func:`probe_grouped` / :func:`expand_matches` — binary-search probe keys
+  against the grouped build side (``np.searchsorted``) and emit the
+  ``(selector, build_rows)`` arrays of the join result directly.
+
+NaN join-key semantics (pinned)
+-------------------------------
+A ``NaN`` float join key **never matches** — not even another ``NaN``.
+This mirrors the row path: its dict keys are freshly constructed ``float``
+objects, and ``nan != nan`` in Python, so a NaN key can never be found
+again.  The kernel enforces the same rule explicitly: NaN rows are marked
+invalid on both sides and excluded from grouping and probing (a sort-based
+kernel would otherwise group NaNs together and invent matches the row path
+never produces).
+
+Cross-type keys behave like Python ``==`` exactly: ``1 == 1.0`` matches
+(the float side of a mixed int/float part is narrowed to its
+exactly-integral values and compared in int64, so ``2**53 + 1`` and
+``2.0**53`` stay distinct), while a string part compared against a numeric
+part matches nothing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.column import Column, ColumnType
+
+__all__ = [
+    "CompositeKeys",
+    "GroupedRows",
+    "KeyPart",
+    "encode_composite_keys",
+    "expand_matches",
+    "group_rows",
+    "probe_grouped",
+]
+
+#: Radix-combination guard: composite code spans stay below this bound, and
+#: are re-compressed through ``np.unique`` when the next part would overflow.
+_MAX_SPAN = 2**62
+
+
+@dataclass(frozen=True)
+class KeyPart:
+    """One column-equality component of a composite join key.
+
+    ``build_values`` / ``probe_values`` are the *physical* column values
+    (dictionary codes for strings) already gathered for the join's candidate
+    rows, so the kernel never touches full base tables.
+    """
+
+    build_column: Column
+    build_values: np.ndarray
+    probe_column: Column
+    probe_values: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompositeKeys:
+    """Both sides of a composite join key encoded into one int64 code space.
+
+    ``build_codes[i] == probe_codes[j]`` (with both rows valid) holds exactly
+    when every key column of build row ``i`` equals the corresponding key
+    column of probe row ``j`` under Python ``==``.  Invalid rows (NaN keys,
+    string-vs-numeric type mismatches) can never match.
+    """
+
+    build_codes: np.ndarray
+    probe_codes: np.ndarray
+    build_valid: np.ndarray
+    probe_valid: np.ndarray
+
+
+@dataclass(frozen=True)
+class GroupedRows:
+    """Rows grouped by key: the columnar form of ``dict[key, list[row]]``.
+
+    ``rows`` holds the original row indices reordered so equal keys are
+    adjacent; run ``g`` covers ``rows[starts[g] : starts[g] + counts[g]]``
+    and has key ``keys[g]``.  The grouping sort is stable, so rows within a
+    run keep their original (ascending) order — exactly the order in which
+    the dict-based build appended them to its buckets.
+    """
+
+    rows: np.ndarray
+    keys: np.ndarray
+    starts: np.ndarray
+    counts: np.ndarray
+
+
+# ----------------------------------------------------------------------
+# composite key encoding
+# ----------------------------------------------------------------------
+def encode_composite_keys(parts: Sequence[KeyPart]) -> CompositeKeys:
+    """Encode a composite equi-join key into one int64 code per side.
+
+    Parts are combined by mixed radix over their per-part code domains;
+    whenever the combined span would overflow int64, the partial codes are
+    re-compressed to a dense domain via ``np.unique`` first, so any number
+    of key columns is supported.
+    """
+    if not parts:
+        raise ValueError("composite key needs at least one part")
+    num_build = int(np.asarray(parts[0].build_values).shape[0])
+    num_probe = int(np.asarray(parts[0].probe_values).shape[0])
+    build_codes = np.zeros(num_build, dtype=np.int64)
+    probe_codes = np.zeros(num_probe, dtype=np.int64)
+    build_valid = np.ones(num_build, dtype=bool)
+    probe_valid = np.ones(num_probe, dtype=bool)
+    span = 1
+    for part in parts:
+        part_build, part_probe, part_build_valid, part_probe_valid, domain = _encode_part(part)
+        if span > _MAX_SPAN // max(1, domain):
+            joint = np.concatenate([build_codes, probe_codes])
+            _, inverse = np.unique(joint, return_inverse=True)
+            inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+            build_codes = inverse[:num_build]
+            probe_codes = inverse[num_build:]
+            span = max(1, num_build + num_probe)
+        build_codes = build_codes * domain + part_build
+        probe_codes = probe_codes * domain + part_probe
+        span *= max(1, domain)
+        if part_build_valid is not None:
+            build_valid &= part_build_valid
+        if part_probe_valid is not None:
+            probe_valid &= part_probe_valid
+    return CompositeKeys(build_codes, probe_codes, build_valid, probe_valid)
+
+
+def _encode_part(
+    part: KeyPart,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None, int]:
+    """Encode one key column pair into a shared dense-ish int64 domain.
+
+    Returns ``(build_codes, probe_codes, build_valid, probe_valid, domain)``
+    with codes in ``[0, domain)`` and ``None`` valid masks meaning all-valid.
+    """
+    build_column, probe_column = part.build_column, part.probe_column
+    build = np.asarray(part.build_values)
+    probe = np.asarray(part.probe_values)
+    if build_column.ctype is ColumnType.STRING and probe_column.ctype is ColumnType.STRING:
+        # Reuse dictionary codes: the build side's codes are already dense;
+        # the probe side's dictionary is translated into the build side's
+        # code space (absent values share one sentinel code that matches no
+        # build row, which keeps the radix domain at dictionary size + 1).
+        translation = build_column.translate_codes(probe_column)
+        probe_codes = translation[probe] if probe.shape[0] else probe.astype(np.int64)
+        domain = len(build_column.dictionary) + 1
+        return build.astype(np.int64, copy=False), probe_codes, None, None, domain
+    if ColumnType.STRING in (build_column.ctype, probe_column.ctype):
+        # String vs numeric: Python `==` is False for every pair, so no row
+        # on either side can participate in a match.
+        return (
+            np.zeros(build.shape[0], dtype=np.int64),
+            np.zeros(probe.shape[0], dtype=np.int64),
+            np.zeros(build.shape[0], dtype=bool),
+            np.zeros(probe.shape[0], dtype=bool),
+            1,
+        )
+    build_valid: np.ndarray | None = None
+    probe_valid: np.ndarray | None = None
+    if (build_column.ctype is ColumnType.FLOAT) != (probe_column.ctype is ColumnType.FLOAT):
+        # Mixed int/float key: Python compares exactly (`2**53 + 1 != 2.0**53`),
+        # so casting the int side to float64 would invent matches above 2**53.
+        # Instead the float side keeps only exactly-integral in-int64-range
+        # values (the only ones that can equal an int64) and is compared as
+        # int64; everything else — NaN included — can never match.
+        if build_column.ctype is ColumnType.FLOAT:
+            build, build_valid = _integral_as_int64(build)
+        else:
+            probe, probe_valid = _integral_as_int64(probe)
+    elif build_column.ctype is ColumnType.FLOAT:
+        build_nan = np.isnan(build)
+        probe_nan = np.isnan(probe)
+        if build_nan.any():
+            build_valid = ~build_nan
+            build = np.where(build_nan, 0.0, build)
+        if probe_nan.any():
+            probe_valid = ~probe_nan
+            probe = np.where(probe_nan, 0.0, probe)
+    combined = np.concatenate([build, probe])
+    _, inverse = np.unique(combined, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+    domain = max(1, int(inverse.max()) + 1) if inverse.shape[0] else 1
+    return inverse[: build.shape[0]], inverse[build.shape[0]:], build_valid, probe_valid, domain
+
+
+def _integral_as_int64(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exactly-integral in-range float64 values as int64, others masked out."""
+    values = values.astype(np.float64, copy=False)
+    with np.errstate(invalid="ignore"):
+        valid = (
+            np.isfinite(values)
+            & (np.floor(values) == values)
+            & (values >= -9_223_372_036_854_775_808.0)
+            & (values < 9_223_372_036_854_775_808.0)
+        )
+    return np.where(valid, values, 0.0).astype(np.int64), valid
+
+
+# ----------------------------------------------------------------------
+# grouping and probing
+# ----------------------------------------------------------------------
+def group_rows(values: np.ndarray, rows: np.ndarray | None = None) -> GroupedRows:
+    """Group ``rows`` (default ``arange``) into runs of equal ``values``.
+
+    The stable argsort keeps rows of equal keys in ascending order, which
+    both the hash-jump's per-bucket ``searchsorted`` and the byte-identical
+    emission order of the join kernel rely on.  Run boundaries are detected
+    with ``!=`` on adjacent sorted values, so for float keys each NaN forms
+    its own singleton run (``nan != nan``) — no accidental NaN grouping.
+    """
+    values = np.asarray(values)
+    if rows is None:
+        rows = np.arange(values.shape[0], dtype=np.int64)
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+    if values.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return GroupedRows(empty, values[:0], empty, empty)
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    boundaries = np.concatenate(([True], sorted_values[1:] != sorted_values[:-1]))
+    starts = np.flatnonzero(boundaries).astype(np.int64)
+    counts = np.diff(np.append(starts, values.shape[0])).astype(np.int64)
+    return GroupedRows(rows[order], sorted_values[starts], starts, counts)
+
+
+def probe_grouped(
+    grouped: GroupedRows, keys: np.ndarray, valid: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match probe ``keys`` against a grouped build side.
+
+    Returns ``(probe_rows, groups)``: the probe rows (ascending) that found
+    a build run, and the index of that run in ``grouped``.  ``valid`` masks
+    out probe rows that may never match (NaN keys, type mismatches).
+    """
+    keys = np.asarray(keys)
+    empty = np.empty(0, dtype=np.int64)
+    if grouped.keys.shape[0] == 0 or keys.shape[0] == 0:
+        return empty, empty
+    positions = np.searchsorted(grouped.keys, keys)
+    safe = np.minimum(positions, grouped.keys.shape[0] - 1)
+    hits = (positions < grouped.keys.shape[0]) & (grouped.keys[safe] == keys)
+    if valid is not None:
+        hits &= valid
+    probe_rows = np.flatnonzero(hits).astype(np.int64)
+    return probe_rows, positions[probe_rows].astype(np.int64)
+
+
+def expand_matches(
+    grouped: GroupedRows, probe_rows: np.ndarray, groups: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Emit the ``(selector, build_rows)`` arrays for matched probe rows.
+
+    ``selector[k]`` is the probe row of output row ``k`` and ``build_rows[k]``
+    the matching build row; probe rows appear in their given order, and the
+    build rows of one run in ascending order — the same emission order as the
+    dict-based loop, so join results are byte-identical between the paths.
+    """
+    counts = grouped.counts[groups]
+    total = int(counts.sum())
+    selector = np.repeat(probe_rows, counts)
+    flat_starts = np.repeat(grouped.starts[groups], counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return selector, grouped.rows[flat_starts + offsets]

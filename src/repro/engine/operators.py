@@ -12,6 +12,18 @@ repository:
   the new table to the current prefix (Cartesian product or generic/UDF-only
   join predicates).
 
+The hash join runs in one of two modes (``SkinnerConfig.join_mode``):
+
+* ``"vectorized"`` (default) — the columnar kernel from
+  :mod:`repro.engine.joinkernels`: composite keys encoded as int64 code
+  vectors, the build side grouped by stable argsort, the probe side matched
+  via ``searchsorted``, and the result emitted as whole selector arrays.
+* ``"rows"`` — the dict-based build/probe reference path, kept for A/B
+  comparisons (mirroring the ``postprocess_mode`` and ``batch_size=1``
+  precedents).  Both modes produce byte-identical relations and charge
+  identical meter work; NaN float join keys never match in either mode (see
+  :mod:`repro.engine.joinkernels`).
+
 All operators charge their work to a :class:`~repro.engine.meter.CostMeter`.
 """
 
@@ -22,6 +34,13 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.joinkernels import (
+    KeyPart,
+    encode_composite_keys,
+    expand_matches,
+    group_rows,
+    probe_grouped,
+)
 from repro.engine.meter import CostMeter
 from repro.engine.relation import RowIdRelation
 from repro.engine.vectorized import (
@@ -34,6 +53,16 @@ from repro.query.expressions import ColumnRef
 from repro.query.predicates import Predicate
 from repro.query.udf import UdfRegistry
 from repro.storage.table import Table
+
+#: Valid hash-join implementations (``SkinnerConfig.join_mode``).
+JOIN_MODES = ("vectorized", "rows")
+
+
+def validate_join_mode(mode: str) -> str:
+    """Validate a ``join_mode`` value and return it."""
+    if mode not in JOIN_MODES:
+        raise ValueError(f"join_mode must be one of {JOIN_MODES}, got {mode!r}")
+    return mode
 
 
 def filter_table(
@@ -130,15 +159,42 @@ def hash_join_step(
     tables: Mapping[str, Table],
     meter: CostMeter,
     udfs: UdfRegistry | None = None,
+    mode: str = "vectorized",
 ) -> RowIdRelation:
     """Extend ``prefix`` by ``alias`` using a hash join.
 
     ``equi_predicates`` must each connect ``alias`` to some alias already in
     the prefix via column equality.  ``residual_predicates`` are evaluated on
-    each candidate combination.
+    each candidate combination.  ``mode`` selects the vectorized kernel or
+    the dict-based ``"rows"`` reference path; both emit the same relation in
+    the same row order and charge the same meter work.
     """
+    validate_join_mode(mode)
+    # Building the hash side scans/hashes the new table's tuples once, so it
+    # is charged as scan work, not as hash probes: the probe counter must
+    # mean the same thing across join implementations for the meter profiles
+    # and the Table-6 ablation to be comparable.
+    meter.charge_scan(positions.shape[0])
+    if mode == "rows":
+        candidate = _rows_hash_join(prefix, alias, table, positions, equi_predicates,
+                                    tables, meter)
+    else:
+        candidate = _vectorized_hash_join(prefix, alias, table, positions, equi_predicates,
+                                          tables, meter)
+    return _apply_residual(candidate, residual_predicates, tables, meter, udfs)
+
+
+def _rows_hash_join(
+    prefix: RowIdRelation,
+    alias: str,
+    table: Table,
+    positions: np.ndarray,
+    equi_predicates: Sequence[Predicate],
+    tables: Mapping[str, Table],
+    meter: CostMeter,
+) -> RowIdRelation:
+    """Dict-based build/probe reference path (``join_mode="rows"``)."""
     build_keys = _composite_keys_for_new(table, positions, alias, equi_predicates)
-    meter.charge_probe(positions.shape[0])
     buckets: dict[Any, list[int]] = {}
     for row, key in enumerate(build_keys):
         buckets.setdefault(key, []).append(row)
@@ -156,9 +212,55 @@ def hash_join_step(
         for build_row in matches:
             selector.append(prefix_row)
             new_positions.append(int(positions[build_row]))
-    candidate = prefix.extend(alias, np.asarray(new_positions, dtype=np.int64),
-                              np.asarray(selector, dtype=np.int64))
-    return _apply_residual(candidate, residual_predicates, tables, meter, udfs)
+    return prefix.extend(alias, np.asarray(new_positions, dtype=np.int64),
+                         np.asarray(selector, dtype=np.int64))
+
+
+def _vectorized_hash_join(
+    prefix: RowIdRelation,
+    alias: str,
+    table: Table,
+    positions: np.ndarray,
+    equi_predicates: Sequence[Predicate],
+    tables: Mapping[str, Table],
+    meter: CostMeter,
+) -> RowIdRelation:
+    """Columnar build/probe via the :mod:`repro.engine.joinkernels` primitives."""
+    parts = []
+    for predicate in equi_predicates:
+        left, right = predicate.equi_join_columns()
+        own = left if left.table == alias else right
+        other = right if left.table == alias else left
+        build_column = table.column(own.column)
+        probe_column = tables[other.table].column(other.column)
+        parts.append(KeyPart(
+            build_column=build_column,
+            build_values=build_column.data[positions],
+            probe_column=probe_column,
+            probe_values=probe_column.data[prefix.ids(other.table)],
+        ))
+    keys = encode_composite_keys(parts)
+    meter.charge_probe(len(prefix))
+    build_rows_valid = np.flatnonzero(keys.build_valid).astype(np.int64)
+    grouped = group_rows(keys.build_codes[build_rows_valid], build_rows_valid)
+    probe_rows, groups = probe_grouped(grouped, keys.probe_codes, keys.probe_valid)
+    # Charge before materializing so a work budget cuts off an exploding
+    # join as soon as the budget is reached.  The rows path charges one
+    # probe row's matches at a time and stops at the group that crosses the
+    # budget; to record the identical overshoot (Skinner-G/H merge aborted
+    # meters into their reported work), a charge that would exceed the
+    # remaining budget is truncated to the cumulative count through that
+    # same crossing group before it raises.
+    counts = grouped.counts[groups]
+    total_matches = int(counts.sum())
+    remaining = meter.remaining
+    if remaining is not None and total_matches > remaining:
+        cumulative = np.cumsum(counts)
+        crossing = int(np.searchsorted(cumulative, remaining, side="right"))
+        total_matches = int(cumulative[crossing])
+    meter.charge_intermediate(total_matches)
+    selector, build_rows = expand_matches(grouped, probe_rows, groups)
+    return prefix.extend(alias, positions[build_rows], selector)
 
 
 def nested_loop_step(

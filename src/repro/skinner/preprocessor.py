@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.joinkernels import group_rows
 from repro.engine.meter import CostMeter
 from repro.engine.operators import filter_table
 from repro.query.predicates import Predicate
@@ -203,32 +204,35 @@ def _build_join_maps(prepared: PreprocessedQuery, meter: CostMeter) -> None:
         table = prepared.tables[alias]
         column = table.column(column_name)
         positions = prepared.filtered[alias]
-        meter.charge_probe(int(positions.shape[0]))
+        # Hashing the filtered tuples is build work: charge it as scan, like
+        # the plan executor's hash-join build, so meter profiles compare the
+        # same quantities across join implementations.
+        meter.charge_scan(int(positions.shape[0]))
         prepared.join_maps[(alias, column_name)] = _group_by_value(column, positions)
 
 
 def _group_by_value(column, positions: np.ndarray) -> dict[Any, np.ndarray]:
     """Group filtered-array indices by decoded column value, vectorized.
 
-    A stable argsort keeps the indices of equal keys in ascending order,
-    which the hash-jump relies on (``searchsorted`` over each bucket).
+    Built on the shared :func:`repro.engine.joinkernels.group_rows`
+    primitive: its stable argsort keeps the indices of equal keys in
+    ascending order, which the hash-jump relies on (``searchsorted`` over
+    each bucket).  Float NaN keys form singleton buckets that no probe value
+    can look up again (``nan != nan``), matching the executors' pinned
+    NaN-never-matches join semantics.
     """
     if positions.shape[0] == 0:
         return {}
-    physical = column.data[positions]
-    sorter = np.argsort(physical, kind="stable")
-    sorted_values = physical[sorter]
-    boundaries = np.nonzero(np.diff(sorted_values))[0] + 1
-    buckets = np.split(sorter.astype(np.int64, copy=False), boundaries)
-    starts = np.concatenate(([0], boundaries))
+    grouped = group_rows(column.data[positions])
     result: dict[Any, np.ndarray] = {}
-    for start, bucket in zip(starts, buckets):
-        raw = sorted_values[start]
+    for index in range(grouped.keys.shape[0]):
+        raw = grouped.keys[index]
         if column.ctype is ColumnType.STRING:
             key: Any = column.dictionary[int(raw)]
         elif column.ctype is ColumnType.INT:
             key = int(raw)
         else:
             key = float(raw)
-        result[key] = bucket
+        start = int(grouped.starts[index])
+        result[key] = grouped.rows[start:start + int(grouped.counts[index])]
     return result

@@ -58,7 +58,8 @@ class GenericLearningRun:
     finished: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
-        self.executor = PlanExecutor(self.catalog, self.query, self.udfs)
+        self.executor = PlanExecutor(self.catalog, self.query, self.udfs,
+                                     join_mode=self.config.join_mode)
         self.meter = CostMeter()
         self.executor.pre_process(self.meter)
         self.result_set = JoinResultSet(tuple(self.query.aliases))

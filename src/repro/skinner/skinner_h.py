@@ -97,7 +97,8 @@ class SkinnerH:
         for round_index in range(_MAX_ROUNDS):
             budget = self._config.base_timeout * 2**round_index
             # 1. Try the traditional optimizer's plan under the current timeout.
-            executor = PlanExecutor(self._catalog, query, self._udfs)
+            executor = PlanExecutor(self._catalog, query, self._udfs,
+                                    join_mode=self._config.join_mode)
             attempt_meter = CostMeter(budget=budget)
             try:
                 relation = executor.execute_order(plan.order, attempt_meter)

@@ -88,12 +88,17 @@ def clamp_to_offsets(
     ``p`` does, however, invalidate the meaning of all deeper indices (they
     recorded progress for the *old* value at ``p``), so every position after
     the first raised one is reset to its offset.
+
+    An alias absent from ``cardinalities`` is treated as unbounded: clamping
+    its index *down* to a defaulted cardinality of 0 would silently rewind a
+    valid state without setting ``raised``, leaving the deeper indices with
+    stale meaning (they recorded progress for the original index).
     """
     clamped = state.copy()
     raised = False
     for position, alias in enumerate(state.order):
         low = offsets.get(alias, 0)
-        high = max(low, cardinalities.get(alias, 0))
+        cardinality = cardinalities.get(alias)
         index = clamped.indices[position]
         if raised:
             clamped.indices[position] = low
@@ -101,8 +106,8 @@ def clamp_to_offsets(
         if index < low:
             clamped.indices[position] = low
             raised = True
-        else:
-            clamped.indices[position] = min(index, high)
+        elif cardinality is not None:
+            clamped.indices[position] = min(index, max(low, cardinality))
     if clamped.indices != state.indices:
         # Moving any index invalidates the batch cursors recorded for the
         # old candidate runs; the batched executor rebuilds from indices.

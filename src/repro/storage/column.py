@@ -40,7 +40,7 @@ class Column:
         inferred from the values.
     """
 
-    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of", "_decoded")
+    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of", "_decoded", "_translations")
 
     def __init__(self, values: Iterable[Any], ctype: ColumnType | None = None) -> None:
         values = list(values) if not isinstance(values, np.ndarray) else values
@@ -50,6 +50,7 @@ class Column:
         self._dictionary: list[str] | None = None
         self._code_of: dict[str, int] | None = None
         self._decoded: np.ndarray | None = None
+        self._translations: dict[int, tuple["Column", np.ndarray]] = {}
         if ctype is ColumnType.INT:
             self._data = np.asarray(values, dtype=np.int64)
         elif ctype is ColumnType.FLOAT:
@@ -146,6 +147,34 @@ class Column:
             assert self._code_of is not None
             return self._code_of.get(value, -1)
         return value
+
+    def translate_codes(self, other: "Column") -> np.ndarray:
+        """Map ``other``'s dictionary codes into this column's code space.
+
+        Returns an int64 array ``t`` such that ``t[c]`` is this column's
+        dictionary code for ``other.dictionary[c]``, or ``len(self.dictionary)``
+        (a sentinel no row of this column carries) when the value does not
+        occur here.  The join kernel uses this to compare two dictionary-
+        encoded string columns without decoding either side.
+
+        The translation is cached per ``other`` column (both columns are
+        immutable), so repeated joins over the same column pair pay the
+        O(dictionary) construction only once.  The cache keeps a strong
+        reference to ``other``, which pins its id and keeps the key valid.
+        """
+        if self._ctype is not ColumnType.STRING or other._ctype is not ColumnType.STRING:
+            raise SchemaError("translate_codes requires two string columns")
+        assert self._code_of is not None
+        cached = self._translations.get(id(other))
+        if cached is not None and cached[0] is other:
+            return cached[1]
+        sentinel = len(self.dictionary)
+        translation = np.asarray(
+            [self._code_of.get(value, sentinel) for value in other.dictionary],
+            dtype=np.int64,
+        )
+        self._translations[id(other)] = (other, translation)
+        return translation
 
     # ------------------------------------------------------------------
     # bulk operations
@@ -258,4 +287,5 @@ def _from_physical(data: np.ndarray, ctype: ColumnType) -> Column:
     column._dictionary = None
     column._code_of = None
     column._decoded = None
+    column._translations = {}
     return column

@@ -1,0 +1,396 @@
+"""Equivalence of the vectorized hash-join kernel and the dict-based path.
+
+The plan executor's vectorized hash join (``join_mode="vectorized"``) must be
+observationally identical to the dict-based reference (``join_mode="rows"``):
+byte-identical ``RowIdRelation``s — same rows in the same order — and
+identical meter charges, over composite keys, duplicate keys, empty build or
+probe sides, cross-dictionary string keys, NaN float keys, and residual
+predicates.  That is what makes the baseline comparisons of Tables 1–6
+implementation-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SkinnerConfig
+from repro.engine.executor import PlanExecutor
+from repro.engine.joinkernels import (
+    KeyPart,
+    encode_composite_keys,
+    expand_matches,
+    group_rows,
+    probe_grouped,
+)
+from repro.engine.meter import CostMeter
+from repro.engine.operators import hash_join_step
+from repro.engine.relation import RowIdRelation
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import (
+    Predicate,
+    column_compare_literal,
+    column_equals_column,
+)
+from repro.query.query import make_query
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.workloads.generators import choice_strings, make_rng, uniform_keys, zipf_keys
+
+JOIN_MODES = ("rows", "vectorized")
+
+
+def random_catalog_and_query(seed: int, *, num_tables: int, rows: int):
+    """A random catalog + SPJ query exercising every key-encoding path.
+
+    Tables mix integer, float (with NaNs), and string join columns; string
+    dictionaries deliberately differ per table (``only{t}`` values), so the
+    kernel's dictionary-code translation sees values absent from the build
+    side.  Predicates include composite keys (several equalities between the
+    same table pair), an int-vs-float key, and non-equi residuals.
+    """
+    rng = make_rng(seed)
+    catalog = Catalog()
+    aliases = []
+    for table_index in range(num_tables):
+        n = int(rng.integers(0, rows + 1))
+        keys = zipf_keys(rng, n, 8, skew=float(rng.uniform(0.0, 1.5)))
+        floats = keys.astype(np.float64) + rng.choice([0.0, 0.5], size=n)
+        floats[rng.random(n) < 0.15] = np.nan
+        catalog.add_table(Table(f"t{table_index}", {
+            "k": keys,
+            "f": floats,
+            "s": choice_strings(rng, n, ["red", "green", "blue", f"only{table_index}"]),
+            "v": uniform_keys(rng, n, 6),
+        }))
+        aliases.append(f"t{table_index}")
+    predicates = []
+    for i in range(num_tables - 1):
+        predicates.append(column_equals_column(aliases[i], "k", aliases[i + 1], "k"))
+        if rng.random() < 0.4:  # composite string part, cross-dictionary
+            predicates.append(column_equals_column(aliases[i], "s", aliases[i + 1], "s"))
+        if rng.random() < 0.3:  # float keys with NaNs
+            predicates.append(column_equals_column(aliases[i], "f", aliases[i + 1], "f"))
+        if rng.random() < 0.3:  # int vs float key (Python 1 == 1.0 semantics)
+            predicates.append(column_equals_column(aliases[i], "k", aliases[i + 1], "f"))
+        if rng.random() < 0.3:  # non-equi residual
+            predicates.append(
+                Predicate(ColumnRef(aliases[i], "v"), "<=", ColumnRef(aliases[i + 1], "v"))
+            )
+    for alias in aliases:
+        if rng.random() < 0.4:
+            predicates.append(column_compare_literal(alias, "v", ">", int(rng.integers(0, 5))))
+    return catalog, make_query(aliases, predicates=predicates)
+
+
+def run_order(catalog, query, order, mode):
+    executor = PlanExecutor(catalog, query, join_mode=mode)
+    meter = CostMeter()
+    relation = executor.execute_order(list(order), meter)
+    return relation, meter.snapshot()
+
+
+def assert_identical(catalog, query, order):
+    """Both modes: byte-identical relations and identical meter charges."""
+    reference, reference_work = run_order(catalog, query, order, "rows")
+    vectorized, vectorized_work = run_order(catalog, query, order, "vectorized")
+    assert vectorized.aliases == reference.aliases
+    for alias in reference.aliases:
+        assert np.array_equal(vectorized.ids(alias), reference.ids(alias)), (
+            f"alias {alias} diverges for order {order}"
+        )
+    assert vectorized_work == reference_work, f"meter charges diverge for order {order}"
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=100_000),
+       st.integers(min_value=2, max_value=4))
+def test_vectorized_equals_rows_relations_and_meters(seed, num_tables):
+    """Property: identical relations (same row order) and identical charges."""
+    catalog, query = random_catalog_and_query(seed, num_tables=num_tables, rows=24)
+    rng = make_rng(seed + 1)
+    order = list(rng.permutation(query.aliases))
+    assert_identical(catalog, query, order)
+
+
+class TestHashJoinStep:
+    """Direct unit tests of both hash_join_step modes."""
+
+    @staticmethod
+    def _join(mode, prefix, table, positions, equi, residual, tables):
+        meter = CostMeter()
+        joined = hash_join_step(prefix, "b", table, positions, equi, residual,
+                                tables, meter, mode=mode)
+        return joined, meter.snapshot()
+
+    @staticmethod
+    def _both_modes(prefix, table, positions, equi, residual, tables):
+        rows, rows_work = TestHashJoinStep._join("rows", prefix, table, positions,
+                                                 equi, residual, tables)
+        vec, vec_work = TestHashJoinStep._join("vectorized", prefix, table, positions,
+                                               equi, residual, tables)
+        for alias in rows.aliases:
+            assert np.array_equal(vec.ids(alias), rows.ids(alias))
+        assert vec_work == rows_work
+        return rows
+
+    def _tables(self, a_values, b_values):
+        a = Table("a", a_values)
+        b = Table("b", b_values)
+        return a, b, {"a": a, "b": b}
+
+    def test_duplicate_keys_fanout(self):
+        a, b, tables = self._tables({"x": [1, 2, 2, 3]}, {"x": [2, 2, 2, 1, 9]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        # prefix rows ascending, build rows ascending within each key group
+        assert joined.index_tuples(["a", "b"]) == [
+            (0, 3), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2),
+        ]
+
+    def test_empty_build_side(self):
+        a, b, tables = self._tables({"x": [1, 2]}, {"x": [1, 2, 3]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.empty(0, dtype=np.int64),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert len(joined) == 0
+
+    def test_empty_probe_side(self):
+        a, b, tables = self._tables({"x": [1, 2]}, {"x": [1, 2, 3]})
+        prefix = RowIdRelation.empty(["a"])
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert len(joined) == 0
+
+    def test_composite_key_requires_all_parts(self):
+        a, b, tables = self._tables(
+            {"x": [1, 1, 2], "y": ["p", "q", "p"]},
+            {"x": [1, 1, 2, 2], "y": ["p", "r", "p", "zz"]},
+        )
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(
+            prefix, b, np.arange(b.num_rows),
+            [column_equals_column("a", "x", "b", "x"),
+             column_equals_column("a", "y", "b", "y")], [], tables)
+        assert joined.index_tuples(["a", "b"]) == [(0, 0), (2, 2)]
+
+    def test_nan_keys_never_match(self):
+        nan = float("nan")
+        a, b, tables = self._tables({"x": [nan, 1.5, nan]}, {"x": [nan, 1.5, nan, 2.5]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        # Only the non-NaN 1.5 = 1.5 pair survives in either mode.
+        assert joined.index_tuples(["a", "b"]) == [(1, 1)]
+
+    def test_string_keys_absent_from_build_dictionary(self):
+        a, b, tables = self._tables({"x": ["red", "blue", "violet"]},
+                                    {"x": ["blue", "amber", "red"]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert joined.index_tuples(["a", "b"]) == [(0, 2), (1, 0)]
+
+    def test_int_float_cross_type_key_matches(self):
+        a, b, tables = self._tables({"x": [1, 2, 3]}, {"x": [1.0, 2.5, 3.0]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert joined.index_tuples(["a", "b"]) == [(0, 0), (2, 2)]
+
+    def test_int_float_keys_exact_above_2_pow_53(self):
+        """Python int == float is exact: 2**53 + 1 must not match 2.0**53."""
+        a, b, tables = self._tables(
+            {"x": [2**53 + 1, 2**53, 2**60]},
+            {"x": [float(2**53), 2.5, float(2**60), float("nan"), float("inf")]},
+        )
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert joined.index_tuples(["a", "b"]) == [(1, 0), (2, 2)]
+
+    def test_string_numeric_type_mismatch_matches_nothing(self):
+        a, b, tables = self._tables({"x": [1, 2]}, {"x": ["1", "2"]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")], [], tables)
+        assert len(joined) == 0
+
+    def test_residual_predicate_applied_identically(self):
+        a, b, tables = self._tables({"x": [1, 1, 2], "v": [10, 20, 30]},
+                                    {"x": [1, 1, 2], "w": [15, 25, 5]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        residual = [Predicate(ColumnRef("a", "v"), "<", ColumnRef("b", "w"))]
+        joined = self._both_modes(prefix, b, np.arange(b.num_rows),
+                                  [column_equals_column("a", "x", "b", "x")],
+                                  residual, tables)
+        assert joined.index_tuples(["a", "b"]) == [(0, 0), (0, 1), (1, 1)]
+
+    def test_build_side_charged_as_scan_not_probe(self):
+        """Regression: build work is scan work, probes count probe rows only."""
+        a, b, tables = self._tables({"x": [1, 2]}, {"x": [1, 2, 3, 4]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        for mode in JOIN_MODES:
+            meter = CostMeter()
+            hash_join_step(prefix, "b", b, np.arange(b.num_rows),
+                           [column_equals_column("a", "x", "b", "x")], [], tables,
+                           meter, mode=mode)
+            assert meter.tuples_scanned == b.num_rows, mode
+            assert meter.hash_probes == len(prefix), mode
+
+    def test_budget_abort_records_identical_overshoot(self):
+        """Regression: aborted runs record the same work in both modes.
+
+        Skinner-G/H merge aborted slice meters into their reported work, so
+        the vectorized path must stop charging at the same probe-row group
+        as the rows path instead of recording the whole join's count.
+        """
+        from repro.errors import BudgetExceeded
+
+        n = 60
+        a, b, tables = self._tables({"x": [7] * n}, {"x": [7] * n})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        totals = {}
+        for mode in JOIN_MODES:
+            meter = CostMeter(budget=n + n + 25)  # aborts mid-intermediate
+            with pytest.raises(BudgetExceeded):
+                hash_join_step(prefix, "b", b, np.arange(b.num_rows),
+                               [column_equals_column("a", "x", "b", "x")], [], tables,
+                               meter, mode=mode)
+            totals[mode] = meter.snapshot()
+        assert totals["vectorized"] == totals["rows"]
+
+    def test_budget_abort_many_groups_identical(self):
+        from repro.errors import BudgetExceeded
+
+        a, b, tables = self._tables({"x": [1, 2, 3, 4, 5]}, {"x": [1, 1, 2, 3, 3, 3, 5]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        for budget in range(7, 20):
+            totals = {}
+            for mode in JOIN_MODES:
+                meter = CostMeter(budget=budget)
+                try:
+                    hash_join_step(prefix, "b", b, np.arange(b.num_rows),
+                                   [column_equals_column("a", "x", "b", "x")], [], tables,
+                                   meter, mode=mode)
+                except BudgetExceeded:
+                    pass
+                totals[mode] = meter.snapshot()
+            assert totals["vectorized"] == totals["rows"], f"budget {budget}"
+
+    def test_invalid_mode_rejected(self):
+        a, b, tables = self._tables({"x": [1]}, {"x": [1]})
+        prefix = RowIdRelation.from_base("a", np.arange(a.num_rows))
+        with pytest.raises(ValueError):
+            hash_join_step(prefix, "b", b, np.arange(b.num_rows),
+                           [column_equals_column("a", "x", "b", "x")], [], tables,
+                           CostMeter(), mode="bogus")
+
+
+class TestKernelPrimitives:
+    def test_group_rows_stable_ascending_within_group(self):
+        grouped = group_rows(np.array([3, 1, 3, 1, 3]))
+        assert grouped.keys.tolist() == [1, 3]
+        assert grouped.rows.tolist() == [1, 3, 0, 2, 4]
+        assert grouped.starts.tolist() == [0, 2]
+        assert grouped.counts.tolist() == [2, 3]
+
+    def test_group_rows_empty(self):
+        grouped = group_rows(np.empty(0, dtype=np.int64))
+        assert grouped.rows.shape[0] == 0
+        assert grouped.keys.shape[0] == 0
+
+    def test_group_rows_nan_singleton_runs(self):
+        values = np.array([np.nan, 1.0, np.nan])
+        grouped = group_rows(values)
+        # Each NaN forms its own run; none are merged.
+        assert grouped.counts.tolist() == [1, 1, 1]
+
+    def test_probe_grouped_empty_build(self):
+        grouped = group_rows(np.empty(0, dtype=np.int64))
+        rows, groups = probe_grouped(grouped, np.array([1, 2, 3]))
+        assert rows.shape[0] == 0 and groups.shape[0] == 0
+
+    def test_probe_and_expand_round_trip(self):
+        grouped = group_rows(np.array([5, 7, 5, 9]))
+        rows, groups = probe_grouped(grouped, np.array([7, 5, 4]))
+        selector, build_rows = expand_matches(grouped, rows, groups)
+        assert selector.tolist() == [0, 1, 1]
+        assert build_rows.tolist() == [1, 0, 2]
+
+    def test_encode_composite_requires_parts(self):
+        with pytest.raises(ValueError):
+            encode_composite_keys([])
+
+    def test_encode_many_parts_does_not_overflow(self):
+        """Radix combination re-compresses instead of overflowing int64."""
+        build = Column(list(range(40)))
+        probe = Column(list(range(40)))
+        values = build.data
+        parts = [KeyPart(build, values, probe, values) for _ in range(16)]
+        keys = encode_composite_keys(parts)
+        assert np.array_equal(keys.build_codes, keys.probe_codes)
+        assert np.unique(keys.build_codes).shape[0] == 40
+
+    def test_translate_codes_maps_into_build_dictionary(self):
+        build = Column(["a", "b", "c"])
+        probe = Column(["c", "x", "a"])
+        translation = build.translate_codes(probe)
+        # probe codes 0,1,2 = c,x,a -> build codes 2, sentinel 3, 0
+        assert translation.tolist() == [2, 3, 0]
+
+    def test_translate_codes_cached_per_column_pair(self):
+        build = Column(["a", "b", "c"])
+        probe = Column(["c", "x", "a"])
+        other = Column(["b", "a"])
+        assert build.translate_codes(probe) is build.translate_codes(probe)
+        assert build.translate_codes(other).tolist() == [1, 0]
+
+
+class TestJoinModeThreading:
+    def test_executor_validates_mode(self, tiny_catalog, tiny_join_query):
+        with pytest.raises(ValueError):
+            PlanExecutor(tiny_catalog, tiny_join_query, join_mode="columnar")
+
+    def test_executor_modes_identical(self, tiny_catalog, tiny_join_query):
+        for order in tiny_join_query.join_graph().valid_join_orders():
+            assert_identical(tiny_catalog, tiny_join_query, list(order))
+
+    def test_baselines_honor_join_mode(self, tiny_catalog, tiny_join_query):
+        from repro.baselines.eddy import EddyEngine
+        from repro.baselines.reoptimizer import ReOptimizerEngine
+        from repro.baselines.traditional import TraditionalEngine
+
+        for factory in (
+            lambda mode: TraditionalEngine(tiny_catalog, join_mode=mode),
+            lambda mode: ReOptimizerEngine(tiny_catalog, join_mode=mode),
+            lambda mode: EddyEngine(tiny_catalog, join_mode=mode),
+        ):
+            results = {}
+            for mode in JOIN_MODES:
+                result = factory(mode).execute(tiny_join_query)
+                table = result.table
+                results[mode] = [
+                    tuple(row[name] for name in table.column_names) for row in table.rows()
+                ]
+            assert results["vectorized"] == results["rows"]
+            with pytest.raises(ValueError):
+                factory("bogus")
+
+    def test_skinner_g_honors_config_join_mode(self, tiny_catalog, tiny_join_query):
+        from repro.skinner.skinner_g import SkinnerG
+
+        reference = None
+        for mode in JOIN_MODES:
+            config = SkinnerConfig(base_timeout=200, batches_per_table=3, join_mode=mode)
+            result = SkinnerG(tiny_catalog, config=config).execute(tiny_join_query)
+            rows = sorted(map(repr, result.table.rows()))
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference

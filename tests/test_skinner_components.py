@@ -66,6 +66,30 @@ class TestJoinState:
         clamped = clamp_to_offsets(state, {"a": 1, "b": 2}, CARDS)
         assert clamped.indices == [4, 4]
 
+    def test_clamp_missing_cardinality_is_unbounded(self):
+        """Regression: a missing cardinality must not drag a valid index down.
+
+        Defaulting the cardinality to 0 used to clamp ``min(index, 0)``
+        without setting ``raised``, silently rewinding the position while the
+        deeper indices kept their (now stale) meaning.
+        """
+        state = JoinState(("a", "b", "c"), [3, 7, 2])
+        clamped = clamp_to_offsets(state, {"a": 0, "b": 0, "c": 0}, {"a": 10, "c": 5})
+        assert clamped.indices == [3, 7, 2]
+
+    def test_clamp_missing_cardinality_still_raises_to_offsets(self):
+        state = JoinState(("a", "b", "c"), [3, 1, 4])
+        clamped = clamp_to_offsets(state, {"a": 0, "b": 5, "c": 0}, {"a": 10, "c": 5})
+        # b is below its offset: raised, and c resets to its offset.
+        assert clamped.indices == [3, 5, 0]
+
+    def test_restore_with_alias_missing_from_cardinalities(self):
+        """A tracker round-trip must preserve progress for unmapped aliases."""
+        tracker = ProgressTracker(("a", "b", "c"))
+        tracker.backup(JoinState(("a", "b", "c"), [3, 7, 2]))
+        restored = tracker.restore(("a", "b", "c"), {"a": 10, "c": 5})
+        assert restored.indices == [3, 7, 2]
+
 
 class TestRewards:
     def test_scaled_delta_reward_in_unit_interval(self):
