@@ -1,6 +1,10 @@
-"""Quickstart: create tables, run SQL, and compare engines.
+"""Quickstart: create tables, run SQL, compare engines, serve concurrently.
 
-Run with::
+``db.execute`` routes through the serving layer (:class:`repro.QueryServer`)
+by default, so every query gets admission control, result caching, and
+cross-query join-order warm-starting for free; the server's ``submit`` /
+``poll`` / ``result`` API serves many queries concurrently by interleaving
+their budgeted execution episodes.  Run with::
 
     python examples/quickstart.py
 """
@@ -56,6 +60,34 @@ def main() -> None:
     assert learned.rows == planned.rows
     print("Both engines agree; Skinner learned join order:",
           " -> ".join(learned.metrics.final_join_order))
+
+    # Repeating a request hits the serving-level result cache.
+    cached = db.execute(sql, engine="skinner-c")
+    assert cached.rows == learned.rows
+    print("\nSecond execution served from the result cache:",
+          cached.metrics.extra.get("result_cache") == "hit")
+
+    # The server also accepts many queries at once: submissions are
+    # admission-controlled and their episodes interleaved fairly, so short
+    # queries are not stuck behind long ones.
+    tickets = [
+        db.server.submit(
+            "SELECT f.title AS title, SUM(r.price) AS revenue FROM films f, rentals r "
+            f"WHERE f.fid = r.fid AND f.year >= {year} GROUP BY f.title ORDER BY f.title"
+        )
+        for year in (1979, 1985, 1995)
+    ]
+    db.server.drain()
+    print("\nConcurrently served submissions:")
+    for ticket in tickets:
+        status = db.server.poll(ticket)
+        rows = db.server.result(ticket).rows
+        print(f"  ticket {ticket}: {status['state']} after {status['episodes']} episode(s), "
+              f"{len(rows)} row(s)")
+    stats = db.server.stats()
+    print(f"  server totals: {stats['completed']} completed, "
+          f"{stats['work_total']} work units, "
+          f"result cache hits={stats['result_cache']['hits']}")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from repro.errors import (
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.result import QueryMetrics, QueryResult
+from repro.serving import QueryServer, SessionState
 from repro.storage.table import Table
 
 __version__ = "1.0.0"
@@ -50,7 +51,9 @@ __all__ = [
     "Query",
     "QueryMetrics",
     "QueryResult",
+    "QueryServer",
     "ReproError",
+    "SessionState",
     "SchemaError",
     "SkinnerConfig",
     "SkinnerDB",

@@ -19,6 +19,7 @@ from repro.bench.experiments_figures import (
 )
 from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
+from repro.bench.experiments_serving import concurrent_serving
 from repro.bench.experiments_tables import (
     table1,
     table2,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "figure11": figure11,
     "figure12": figure12,
     "figure13": figure13,
+    "concurrent_serving": concurrent_serving,
     "hashjoin_kernel": hashjoin_kernel,
     "postprocess_pipeline": postprocess_pipeline,
 }

@@ -67,6 +67,27 @@ class SkinnerConfig:
         the ablation baseline of Table 5.
     seed:
         Seed for the pseudo-random choices of the UCT trees.
+    serving_max_inflight:
+        :class:`~repro.serving.server.QueryServer`: maximum number of
+        queries executing concurrently (episode-interleaved); submissions
+        beyond the bound wait in the admission queue.
+    serving_quantum_episodes:
+        Episodes a scheduled query runs per grant before the scheduler
+        re-evaluates fair shares.  ``1`` is the fairest (and the default);
+        larger values amortize switching overhead.
+    serving_result_cache_size:
+        Entries of the serving-level result cache (``0`` disables caching).
+        Keys are normalized query fingerprints including engine, profile,
+        and config, and the whole cache is invalidated on schema changes.
+    serving_order_cache_size:
+        Entries of the cross-query join-order prior cache (``0`` disables
+        it), keyed on the join-graph signature.
+    serving_warm_start:
+        Whether new Skinner-C queries seed their UCT tree from join orders
+        learned by earlier queries on the same join graph.
+    serving_warm_start_visits:
+        Pseudo-visits credited per seeded join order; small values let a
+        stale prior decay quickly once real rewards arrive.
     """
 
     slice_budget: int = 500
@@ -83,6 +104,12 @@ class SkinnerConfig:
     generic_exploration_weight: float = DEFAULT_EXPLORATION_WEIGHT
     order_selection: str = "uct"
     seed: int | None = 42
+    serving_max_inflight: int = 4
+    serving_quantum_episodes: int = 1
+    serving_result_cache_size: int = 64
+    serving_order_cache_size: int = 128
+    serving_warm_start: bool = True
+    serving_warm_start_visits: int = 8
 
     def with_overrides(self, **kwargs) -> "SkinnerConfig":
         """Return a copy with the given fields replaced."""

@@ -28,6 +28,7 @@ from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
+from repro.serving.server import SERVABLE_ENGINES, QueryServer
 from repro.skinner.skinner_c import SkinnerC
 from repro.skinner.skinner_g import SkinnerG
 from repro.skinner.skinner_h import SkinnerH
@@ -35,15 +36,9 @@ from repro.storage.catalog import Catalog
 from repro.storage.loader import load_csv
 from repro.storage.table import Table
 
-#: Engines selectable by name in :meth:`SkinnerDB.execute`.
-ENGINE_NAMES = (
-    "skinner-c",
-    "skinner-g",
-    "skinner-h",
-    "traditional",
-    "eddy",
-    "reoptimizer",
-)
+#: Engines selectable by name in :meth:`SkinnerDB.execute` (the serving
+#: layer's canonical list — the facade and the server accept the same set).
+ENGINE_NAMES = SERVABLE_ENGINES
 
 
 class SkinnerDB:
@@ -54,6 +49,28 @@ class SkinnerDB:
         self.udfs = UdfRegistry()
         self.config = config
         self._statistics: StatisticsCatalog | None = None
+        self._server: QueryServer | None = None
+
+    @property
+    def server(self) -> QueryServer:
+        """The serving layer over this database (created lazily).
+
+        Exposes the full multi-query API — ``submit`` / ``poll`` /
+        ``result`` / ``cancel`` / ``drain`` — plus the serving caches;
+        :meth:`execute` routes through its single-query path by default.
+        """
+        if self._server is None:
+            self._server = QueryServer(
+                self.catalog, self.udfs, self.config,
+                statistics_provider=self.statistics,
+            )
+        return self._server
+
+    def _invalidate(self) -> None:
+        """Schema or UDF change: drop statistics and serving caches."""
+        self._statistics = None
+        if self._server is not None:
+            self._server.invalidate_caches()
 
     # ------------------------------------------------------------------
     # schema management
@@ -64,19 +81,19 @@ class SkinnerDB:
         """Create a table from column name to value-list mapping."""
         table = Table(name, columns)
         self.catalog.add_table(table, replace=replace)
-        self._statistics = None
+        self._invalidate()
         return table
 
     def add_table(self, table: Table, *, replace: bool = False) -> None:
         """Register an existing :class:`Table`."""
         self.catalog.add_table(table, replace=replace)
-        self._statistics = None
+        self._invalidate()
 
     def load_csv(self, path: str | Path, table_name: str | None = None) -> Table:
         """Load a CSV file into a new table."""
         table = load_csv(path, table_name)
         self.catalog.add_table(table)
-        self._statistics = None
+        self._invalidate()
         return table
 
     def register_udf(
@@ -92,6 +109,7 @@ class SkinnerDB:
         self.udfs.register(
             name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
         )
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # statistics (used by the traditional baselines only)
@@ -118,8 +136,15 @@ class SkinnerDB:
         config: SkinnerConfig | None = None,
         threads: int = 1,
         forced_order: Sequence[str] | None = None,
+        use_result_cache: bool = True,
     ) -> QueryResult:
-        """Execute a query with the chosen engine.
+        """Execute a query through the serving layer (the default entry point).
+
+        The query is routed through :attr:`server`'s single-query path, so
+        it benefits from the serving-level result cache and the cross-query
+        join-order warm-start; :meth:`execute_direct` bypasses the serving
+        layer and constructs the engine directly (the two paths produce
+        identical results).
 
         Parameters
         ----------
@@ -137,6 +162,39 @@ class SkinnerDB:
         forced_order:
             Only valid for ``engine="traditional"``: execute this join order
             instead of the optimizer's choice.
+        use_result_cache:
+            Whether a cached result for an identical earlier request may be
+            returned (cache hits are flagged in ``metrics.extra``).
+        """
+        return self.server.execute(
+            query,
+            engine=engine,
+            profile=profile,
+            # Resolve against the facade's (reassignable) config, not the
+            # server's construction-time snapshot, so execute() and
+            # execute_direct() keep honoring db.config identically.
+            config=config or self.config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+        )
+
+    def execute_direct(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int = 1,
+        forced_order: Sequence[str] | None = None,
+    ) -> QueryResult:
+        """Execute a query on a directly constructed engine (no serving layer).
+
+        This is the pre-serving code path, kept for A/B comparisons and for
+        callers that want to bypass admission control and the caches; it
+        accepts the same arguments as :meth:`execute` (minus the cache
+        knob) and produces identical results.
         """
         parsed = self.parse(query) if isinstance(query, str) else query
         config = config or self.config

@@ -15,6 +15,7 @@ three purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import BudgetExceeded
 
@@ -185,3 +186,40 @@ class CostMeter:
         self.output_tuples = 0
         self.udf_invocations = 0
         self._checkpoints.clear()
+
+
+class WorkLedger:
+    """Per-query work accounting under interleaved episode execution.
+
+    The serving scheduler runs many queries on one thread, one budgeted
+    episode at a time; each query charges its own :class:`CostMeter`, and
+    the ledger records how much of the *shared* virtual clock every query
+    consumed per episode.  Because every work unit is attributed to exactly
+    one query, per-query charges under interleaving equal the solo-run
+    charges, and :meth:`grand_total` is the scheduler's virtual time — the
+    deterministic substitute for wall-clock time in fairness accounting and
+    time-to-first-result measurements.
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[Any, int] = {}
+        self._grand_total = 0
+
+    def record(self, key: Any, amount: int) -> None:
+        """Attribute ``amount`` work units to ``key``."""
+        if amount < 0:
+            raise ValueError("cannot record negative work")
+        self._totals[key] = self._totals.get(key, 0) + amount
+        self._grand_total += amount
+
+    def total(self, key: Any) -> int:
+        """Work units attributed to ``key`` so far."""
+        return self._totals.get(key, 0)
+
+    def grand_total(self) -> int:
+        """Work units consumed by all queries together (the virtual clock)."""
+        return self._grand_total
+
+    def snapshot(self) -> dict[Any, int]:
+        """Copy of the per-key totals."""
+        return dict(self._totals)

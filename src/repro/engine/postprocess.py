@@ -132,7 +132,8 @@ def _post_process_columnar(
         source_rows = source_rows[keep]
         length = int(source_rows.shape[0])
     if query.order_by:
-        order = _order_selector(query, columns, names, data, source_rows, length)
+        order = _order_selector(query, columns, names, data, source_rows, length,
+                                limit=query.limit)
         columns = {name: values[order] for name, values in columns.items()}
         source_rows = source_rows[order]
     if query.limit is not None:
@@ -276,16 +277,50 @@ def _order_selector(
     data: _ColumnarData,
     source_rows: np.ndarray,
     length: int,
+    *,
+    limit: int | None = None,
 ) -> np.ndarray:
     keys = []
     for item in query.order_by:
         values = _order_values(item.expression, columns, names, data, source_rows)
         key = _sort_key(values)
         keys.append(key if item.ascending else -key)
+    if limit is not None and 0 <= limit < length:
+        selected = _topk_selector(keys, length, limit)
+        if selected is not None:
+            return selected
     try:
         return np.lexsort(tuple(reversed(keys)))
     except TypeError as exc:  # pragma: no cover - keys are numeric by now
         raise NotVectorizable(str(exc)) from exc
+
+
+def _topk_selector(keys: list[np.ndarray], length: int, limit: int) -> np.ndarray | None:
+    """Top-``limit`` row selector without a full sort (LIMIT streaming).
+
+    ``np.argpartition`` on the primary key narrows the rows to the ones
+    whose primary key is within the ``limit`` smallest values; only that
+    candidate set is then stably ``lexsort``-ed with all keys.  The result
+    is *identical* to full-sort-then-slice: the stable sub-sort visits the
+    candidates in their original order, so ties resolve exactly as the full
+    sort resolves them.  Returns ``None`` to fall back to the full sort
+    when partitioning cannot be trusted (NaN pivots — NaNs sort last but
+    compare false, which would drop candidates).
+    """
+    if limit == 0:
+        return np.empty(0, dtype=np.int64)
+    primary = keys[0]
+    part = np.argpartition(primary, limit - 1)[:limit]
+    pivot = primary[part].max()
+    if isinstance(pivot, np.floating) and np.isnan(pivot):
+        return None
+    candidates = np.flatnonzero(primary <= pivot)
+    sub_keys = tuple(reversed([key[candidates] for key in keys]))
+    try:
+        order_local = np.lexsort(sub_keys)
+    except TypeError as exc:  # pragma: no cover - keys are numeric by now
+        raise NotVectorizable(str(exc)) from exc
+    return candidates[order_local[:limit]]
 
 
 def _order_values(

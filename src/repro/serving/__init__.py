@@ -1,0 +1,44 @@
+"""Concurrent query serving: scheduler, admission control, serving caches.
+
+This package turns the single-query engines into a multi-tenant service.
+SkinnerDB's episode-sliced execution (small budgeted time slices that can be
+suspended and resumed at will) is exactly the primitive a cooperative
+multi-query scheduler needs: :class:`~repro.serving.server.QueryServer`
+interleaves episodes of many in-flight queries under weighted fair-share
+scheduling with strict priority classes, bounds concurrency via admission
+control, caches results by normalized query fingerprint, and warm-starts
+new queries' UCT trees from join orders learned on the same join graph.
+
+See ``docs/serving.md`` for the design document.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.cache import (
+    JoinOrderCache,
+    ResultCache,
+    join_graph_signature,
+    query_fingerprint,
+)
+from repro.serving.scheduler import FairScheduler
+from repro.serving.server import SERVABLE_ENGINES, QueryServer
+from repro.serving.session import (
+    EpisodeTask,
+    MonolithicTask,
+    QuerySession,
+    SessionState,
+)
+
+__all__ = [
+    "SERVABLE_ENGINES",
+    "AdmissionController",
+    "EpisodeTask",
+    "FairScheduler",
+    "JoinOrderCache",
+    "MonolithicTask",
+    "QueryServer",
+    "QuerySession",
+    "ResultCache",
+    "SessionState",
+    "join_graph_signature",
+    "query_fingerprint",
+]

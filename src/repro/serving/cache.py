@@ -1,0 +1,139 @@
+"""Serving-level caches: query results and cross-query join-order priors.
+
+Two caches sit above the per-query engines:
+
+* the **result cache** maps a *normalized query fingerprint* — the parsed
+  query's canonical rendering plus everything else that can change the
+  answer or its metrics (engine, profile, threads, config, forced order) —
+  to a finished :class:`~repro.result.QueryResult`.  Any schema or UDF
+  change invalidates the whole cache (the server bumps it on mutation).
+* the **join-order cache** maps a *join-graph signature* — the aliased base
+  tables plus the join predicates, with unary predicates deliberately
+  excluded — to the join orders a previous Skinner-C query on the same
+  graph learned, together with their observed average reward.  A new query
+  with the same signature seeds its UCT tree from these priors
+  (:meth:`~repro.uct.tree.UctJoinTree.seed`), which skips the cold-start
+  exploration phase: same-template queries differ only in their unary
+  predicates, and the relative quality of join orders is largely determined
+  by the join graph.
+
+Both caches are LRU with a configurable entry bound and plain dictionaries
+underneath — no background threads, in keeping with the cooperative
+single-threaded server design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.config import SkinnerConfig
+from repro.query.query import Query
+from repro.result import QueryResult
+
+#: A warm-start prior: (join order, average reward, pseudo-visits).
+OrderPrior = tuple[tuple[str, ...], float, int]
+
+
+def query_fingerprint(
+    query: Query,
+    *,
+    engine: str,
+    profile: str,
+    threads: int,
+    config: SkinnerConfig,
+    forced_order: Sequence[str] | None = None,
+) -> str:
+    """Normalized fingerprint of one execution request.
+
+    Queries are fingerprinted through their canonical rendering
+    (:meth:`Query.display`), so textual variations that parse to the same
+    query — whitespace, keyword case, redundant aliasing — share a key.
+    """
+    parts = (
+        query.display(),
+        engine,
+        profile,
+        str(threads),
+        repr(config),
+        repr(tuple(forced_order) if forced_order is not None else None),
+    )
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def join_graph_signature(query: Query) -> tuple:
+    """Alias-and-join-structure key shared by same-template queries.
+
+    Unary predicates are excluded on purpose: two queries that join the
+    same tables the same way but filter differently still rank join orders
+    similarly, which is what makes cross-query warm-starting profitable.
+    """
+    tables = tuple(sorted(query.tables))
+    joins = tuple(sorted(p.display() for p in query.join_predicates()))
+    return (tables, joins)
+
+
+class _LruCache:
+    """A tiny LRU over an OrderedDict (newest at the end)."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = max(0, capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self._capacity > 0
+
+    def get(self, key):
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class ResultCache(_LruCache):
+    """LRU cache of finished query results, keyed on query fingerprints."""
+
+    def get_result(self, fingerprint: str) -> QueryResult | None:
+        """Cached result for the fingerprint, or ``None``."""
+        return self.get(fingerprint)
+
+    def put_result(self, fingerprint: str, result: QueryResult) -> None:
+        """Store a finished result."""
+        self.put(fingerprint, result)
+
+
+class JoinOrderCache(_LruCache):
+    """LRU cache of learned join-order priors, keyed on join-graph signatures."""
+
+    def record(self, signature: tuple, priors: Sequence[OrderPrior]) -> None:
+        """Store (replacing) the learned priors for a join graph."""
+        if priors:
+            self.put(signature, tuple(priors))
+
+    def priors(self, signature: tuple) -> tuple[OrderPrior, ...]:
+        """Warm-start priors for a join graph (empty when unknown)."""
+        cached = self.get(signature)
+        return cached if cached is not None else ()

@@ -1,0 +1,470 @@
+"""The query server: concurrent, episode-interleaved query serving.
+
+:class:`QueryServer` is the multi-tenant entry point of the repository: it
+accepts query submissions (``submit`` / ``poll`` / ``result`` / ``cancel``),
+bounds concurrent in-flight work through admission control, and drives a
+weighted fair-share scheduler that interleaves *episodes* — the budgeted
+time slices SkinnerDB's engines are built from — across all active queries
+on one thread.  Because an episode touches only its own query's state, a
+query's episode sequence (and therefore its results and meter charges) is
+byte-identical whether it runs alone or interleaved with arbitrary other
+queries; concurrency changes *when* a query's episodes run, never *what*
+they compute.
+
+Above the scheduler sit two serving-level caches (see
+:mod:`repro.serving.cache`): a result cache over normalized query
+fingerprints, and a cross-query join-order cache that warm-starts a new
+query's UCT tree from orders learned on the same join graph.
+
+The server is cooperative and single-threaded by design: ``step()`` runs
+one scheduling grant, ``drain()`` runs until idle, and ``result(ticket)``
+drives the scheduler until the awaited query completes.  No locks, no
+threads — determinism is the feature the tests and benchmarks lean on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import replace
+from typing import Any
+
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.engine.meter import WorkLedger
+from repro.errors import ReproError
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryResult
+from repro.serving.admission import AdmissionController
+from repro.serving.cache import (
+    JoinOrderCache,
+    OrderPrior,
+    ResultCache,
+    join_graph_signature,
+    query_fingerprint,
+)
+from repro.serving.scheduler import FairScheduler
+from repro.serving.session import QuerySession, SessionState, create_task
+from repro.skinner.skinner_c import SkinnerCTask
+from repro.storage.catalog import Catalog
+
+#: Engines the server can schedule (the Skinner engines episode-sliced, the
+#: baselines as single monolithic episodes).
+SERVABLE_ENGINES = (
+    "skinner-c",
+    "skinner-g",
+    "skinner-h",
+    "traditional",
+    "eddy",
+    "reoptimizer",
+)
+
+#: How many learned join orders one finished query contributes to the prior.
+_PRIOR_ORDERS = 3
+
+
+class QueryServer:
+    """Cooperative multi-query scheduler and session layer over one catalog.
+
+    Parameters
+    ----------
+    catalog:
+        Tables to serve queries against.
+    udfs:
+        Registry of user-defined functions referenced by queries.
+    config:
+        Default configuration; the ``serving_*`` knobs size the admission
+        bound, the scheduling quantum, and both caches.  Per-submission
+        config overrides apply to execution but not to the server-level
+        sizing knobs.
+    statistics_provider:
+        Callable returning a :class:`StatisticsCatalog` for the engines
+        that need one (traditional, re-optimizer, Skinner-H).  Defaults to
+        collecting (and caching) statistics from the catalog on first use.
+    threads:
+        Default modelled thread count for submissions that do not override
+        it.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: UdfRegistry | None = None,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        statistics_provider: Callable[[], StatisticsCatalog] | None = None,
+        threads: int = 1,
+    ) -> None:
+        self._catalog = catalog
+        self._udfs = udfs
+        self._config = config
+        self._threads = threads
+        self._statistics_provider = statistics_provider
+        self._statistics: StatisticsCatalog | None = None
+        self._scheduler = FairScheduler()
+        self._admission = AdmissionController(config.serving_max_inflight)
+        self._sessions: dict[int, QuerySession] = {}
+        self._tickets = itertools.count(1)
+        self.ledger = WorkLedger()
+        self.result_cache = ResultCache(config.serving_result_cache_size)
+        self.order_cache = JoinOrderCache(config.serving_order_cache_size)
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int | None = None,
+        forced_order: Sequence[str] | None = None,
+        weight: float = 1.0,
+        priority: int = 0,
+        use_result_cache: bool = True,
+    ) -> int:
+        """Submit a query for execution; returns its ticket.
+
+        ``weight`` scales the session's fair share of episodes (2.0 gets
+        roughly twice the work rate of 1.0); ``priority`` selects the strict
+        priority class (higher runs first).  ``use_result_cache=False``
+        skips the cache *lookup* for this submission (the finished result is
+        still stored for later submissions).
+        """
+        engine = engine.lower()
+        if engine not in SERVABLE_ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}; servable engines: "
+                f"{', '.join(SERVABLE_ENGINES)}"
+            )
+        if weight <= 0:
+            raise ReproError("weight must be positive")
+        if forced_order is not None and engine != "traditional":
+            raise ReproError("forced_order is only supported for engine='traditional'")
+        parsed = parse_query(query, self._catalog) if isinstance(query, str) else query
+        config = config or self._config
+        threads = threads if threads is not None else self._threads
+        fingerprint = query_fingerprint(
+            parsed, engine=engine, profile=profile, threads=threads,
+            config=config, forced_order=forced_order,
+        )
+        session = QuerySession(
+            ticket=next(self._tickets),
+            query=parsed,
+            engine=engine,
+            profile=profile,
+            config=config,
+            threads=threads,
+            forced_order=tuple(forced_order) if forced_order is not None else None,
+            weight=weight,
+            priority=priority,
+            fingerprint=fingerprint,
+        )
+        self._sessions[session.ticket] = session
+        if use_result_cache:
+            cached = self.result_cache.get_result(fingerprint)
+            if cached is not None:
+                session.result = self._cached_copy(cached)
+                session.state = SessionState.FINISHED
+                session.cache_hit = True
+                session.completed_at_work = self.ledger.grand_total()
+                self._completed += 1
+                return session.ticket
+        if self._admission.offer(session):
+            self._activate(session)
+        return session.ticket
+
+    def poll(self, ticket: int) -> dict[str, Any]:
+        """Progress snapshot of a submission (non-blocking)."""
+        session = self._session(ticket)
+        return {
+            "ticket": ticket,
+            "state": session.state.value,
+            "engine": session.engine,
+            "episodes": session.episodes,
+            "work_done": self.ledger.total(ticket),
+            "queue_position": self._admission.queue_position(session),
+            "cache_hit": session.cache_hit,
+        }
+
+    def result(self, ticket: int, *, drive: bool = True) -> QueryResult:
+        """The result of a submission, driving the scheduler until it is done.
+
+        With ``drive=False`` the call raises unless the session already
+        reached a terminal state (useful for pure polling clients).
+        """
+        session = self._session(ticket)
+        while not session.done:
+            if not drive:
+                raise ReproError(f"query {ticket} is still {session.state.value}")
+            if not self.step():
+                raise ReproError(f"query {ticket} cannot make progress")
+        if session.state is SessionState.CANCELLED:
+            raise ReproError(f"query {ticket} was cancelled")
+        if session.state is SessionState.FAILED:
+            assert session.error is not None
+            raise session.error
+        assert session.result is not None
+        return session.result
+
+    def cancel(self, ticket: int) -> bool:
+        """Cancel a queued or running submission.
+
+        A running query is cancelled cooperatively at its next episode
+        boundary — i.e. immediately, since the server only runs episodes
+        inside :meth:`step`.  Already-finished submissions return ``False``.
+        """
+        session = self._session(ticket)
+        if session.done:
+            return False
+        if session.state is SessionState.QUEUED and self._admission.withdraw(session):
+            session.state = SessionState.CANCELLED
+            return True
+        # Running: drop it from the rotation and hand the slot onward.
+        self._scheduler.remove(session)
+        session.state = SessionState.CANCELLED
+        session.task = None
+        self._admit_next(session)
+        return True
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one scheduling grant (up to ``serving_quantum_episodes``).
+
+        Returns ``False`` when no session is runnable (the server is idle).
+        """
+        session = self._scheduler.pick()
+        if session is None:
+            return False
+        task = session.task
+        assert task is not None
+        before = session.work_total()
+        try:
+            for _ in range(max(1, self._config.serving_quantum_episodes)):
+                session.episodes += 1
+                if task.run_episode():
+                    break
+            self._account(session, session.work_total() - before)
+            if task.finished:
+                self._complete(session)
+        except Exception as error:  # noqa: BLE001 - one bad query must not
+            # wedge the server: fail the session, keep serving the others.
+            unaccounted = session.work_total() - self.ledger.total(session.ticket)
+            if unaccounted > 0:
+                self._account(session, unaccounted)
+            self._fail(session, error)
+        return True
+
+    def drain(self) -> int:
+        """Run until every submission reached a terminal state."""
+        steps = 0
+        while self.step():
+            steps += 1
+        return steps
+
+    def execute(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int | None = None,
+        forced_order: Sequence[str] | None = None,
+        use_result_cache: bool = True,
+    ) -> QueryResult:
+        """Single-query convenience path: submit, drive to completion, return.
+
+        This is what the :class:`~repro.db.SkinnerDB` facade routes through
+        by default, so even one-off queries go through admission, the result
+        cache, and the join-order warm-start.
+        """
+        ticket = self.submit(
+            query, engine=engine, profile=profile, config=config, threads=threads,
+            forced_order=forced_order, use_result_cache=use_result_cache,
+        )
+        try:
+            return self.result(ticket)
+        finally:
+            # One-shot callers never poll afterwards; dropping the session
+            # keeps a long-lived server's memory bounded by its caches.
+            self.forget(ticket)
+
+    def forget(self, ticket: int) -> bool:
+        """Drop a terminal session's bookkeeping (its result stays cached).
+
+        Long-lived servers accumulate one :class:`QuerySession` per
+        submission; clients that are done with a ticket free it here.
+        Non-terminal sessions are refused (cancel first).
+        """
+        session = self._sessions.get(ticket)
+        if session is None or not session.done:
+            return False
+        del self._sessions[ticket]
+        return True
+
+    # ------------------------------------------------------------------
+    # cache management / inspection
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop cached results, join-order priors, and collected statistics.
+
+        Must be called whenever the underlying catalog or UDF registry
+        changes; the facade does this on every schema mutation.
+        """
+        self.result_cache.clear()
+        self.order_cache.clear()
+        self._statistics = None
+
+    def stats(self) -> dict[str, Any]:
+        """Server-level counters (cache efficiency, load, completions)."""
+        return {
+            "sessions": len(self._sessions),
+            "completed": self._completed,
+            "inflight": len(self._admission.inflight),
+            "queued": len(self._admission.queued),
+            "work_total": self.ledger.grand_total(),
+            "result_cache": {
+                "entries": len(self.result_cache),
+                "hits": self.result_cache.hits,
+                "misses": self.result_cache.misses,
+            },
+            "order_cache": {
+                "entries": len(self.order_cache),
+                "hits": self.order_cache.hits,
+                "misses": self.order_cache.misses,
+            },
+        }
+
+    def session(self, ticket: int) -> QuerySession:
+        """The session object behind a ticket (inspection and tests)."""
+        return self._session(ticket)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _session(self, ticket: int) -> QuerySession:
+        session = self._sessions.get(ticket)
+        if session is None:
+            raise ReproError(f"unknown ticket {ticket}")
+        return session
+
+    def _statistics_for_engines(self) -> StatisticsCatalog:
+        if self._statistics_provider is not None:
+            return self._statistics_provider()
+        if self._statistics is None:
+            self._statistics = StatisticsCatalog.collect(self._catalog)
+        return self._statistics
+
+    def _warm_start_priors(self, session: QuerySession) -> tuple[OrderPrior, ...]:
+        if (
+            session.engine != "skinner-c"
+            or not session.config.serving_warm_start
+            or session.config.order_selection != "uct"
+        ):
+            return ()
+        cap = max(1, session.config.serving_warm_start_visits)
+        return tuple(
+            (order, reward, min(visits, cap))
+            for order, reward, visits in self.order_cache.priors(
+                join_graph_signature(session.query)
+            )
+        )
+
+    def _activate(self, session: QuerySession) -> None:
+        try:
+            session.task = create_task(
+                self._catalog,
+                self._udfs,
+                session,
+                self._statistics_for_engines,
+                order_prior=self._warm_start_priors(session),
+            )
+        except Exception as error:  # noqa: BLE001 - e.g. a UDF raising
+            # during pre-processing: fail this session without leaking its
+            # admission slot (the error surfaces on result(ticket)).
+            self._fail(session, error)
+            return
+        session.state = SessionState.RUNNING
+        self._scheduler.add(session)
+        # Task construction pre-processes the query; attribute that work to
+        # the session now so ledger totals equal the solo-run meter totals.
+        setup_work = session.work_total()
+        if setup_work:
+            self._account(session, setup_work)
+
+    def _fail(self, session: QuerySession, error: Exception) -> None:
+        """Move a session to FAILED, freeing its scheduler and admission slots."""
+        session.error = error
+        session.result = None
+        session.state = SessionState.FAILED
+        session.task = None
+        self._scheduler.discard(session)
+        if session in self._admission.inflight:
+            self._admit_next(session)
+
+    def _account(self, session: QuerySession, consumed: int) -> None:
+        self.ledger.record(session.ticket, consumed)
+        self._scheduler.charge(session, consumed)
+
+    def _complete(self, session: QuerySession) -> None:
+        assert session.task is not None
+        session.result = session.task.finalize()
+        # Post-processing charges during finalize(); attribute the residual
+        # so the ledger total equals the solo-run meter total exactly.
+        residual = session.work_total() - self.ledger.total(session.ticket)
+        if residual > 0:
+            self._account(session, residual)
+        session.state = SessionState.FINISHED
+        session.completed_at_work = self.ledger.grand_total()
+        self._completed += 1
+        self._scheduler.remove(session)
+        if session.fingerprint is not None:
+            self.result_cache.put_result(session.fingerprint, session.result)
+        self._record_learned_orders(session)
+        # Release the per-query execution state (preprocessed tables, result
+        # set, tracker, UCT tree) — only the result outlives completion.
+        session.task = None
+        self._admit_next(session)
+
+    def _record_learned_orders(self, session: QuerySession) -> None:
+        task = session.task
+        if not isinstance(task, SkinnerCTask) or not self.order_cache.enabled:
+            return
+        if session.config.order_selection != "uct":
+            return
+        top = task.tree.top_orders(_PRIOR_ORDERS)
+        total = sum(count for _, count in top)
+        if total == 0:
+            return
+        # The prior signal is the *selection share*, not the raw UCT reward:
+        # scaled progress deltas vanish as an order approaches completion
+        # (the finishing order often records the lowest average reward), so
+        # seeding raw rewards would steer the next query away from the best
+        # order.  Selection frequency is what UCT concentrates on the best
+        # arm, ranks orders correctly, and — being much larger than the
+        # per-slice progress rewards — pins the next query to the learned
+        # order until enough real evidence dilutes the seed.
+        priors = [(order, count / total, count) for order, count in top]
+        self.order_cache.record(join_graph_signature(session.query), priors)
+
+    def _admit_next(self, session: QuerySession) -> None:
+        admitted = self._admission.release(session)
+        if admitted is not None:
+            self._activate(admitted)
+
+    @staticmethod
+    def _cached_copy(cached: QueryResult) -> QueryResult:
+        """A result-cache hit: same table, metrics flagged as cached."""
+        metrics = replace(
+            cached.metrics,
+            extra={**cached.metrics.extra, "result_cache": "hit"},
+        )
+        return QueryResult(cached.table, metrics)

@@ -1,0 +1,172 @@
+"""Query sessions: one submitted query's lifecycle inside the server.
+
+A session tracks a submission from ``submit`` to its terminal state and owns
+the *episode task* that actually executes the query.  Episode tasks share a
+tiny protocol — ``run_episode() -> bool``, ``finished``, ``work_total()``,
+``finalize() -> QueryResult`` — implemented natively by the Skinner engines
+(:class:`~repro.skinner.skinner_c.SkinnerCTask`,
+:class:`~repro.skinner.skinner_g.SkinnerGTask`,
+:class:`~repro.skinner.skinner_h.SkinnerHTask`); the non-adaptive baselines
+run as a single monolithic episode so the server can serve every engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.baselines.eddy import EddyEngine
+from repro.baselines.reoptimizer import ReOptimizerEngine
+from repro.baselines.traditional import TraditionalEngine
+from repro.config import SkinnerConfig
+from repro.errors import ReproError
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryResult
+from repro.skinner.skinner_c import SkinnerC
+from repro.skinner.skinner_g import SkinnerG
+from repro.skinner.skinner_h import SkinnerH
+from repro.storage.catalog import Catalog
+
+
+class EpisodeTask(Protocol):
+    """What the scheduler needs from a resumable query execution."""
+
+    finished: bool
+
+    def run_episode(self) -> bool:
+        """Advance by one episode; returns True when execution completed."""
+
+    def work_total(self) -> int:
+        """Total work units charged to this query so far."""
+
+    def finalize(self) -> QueryResult:
+        """Materialize the final result (only after ``finished``)."""
+
+
+class SessionState(enum.Enum):
+    """Lifecycle states of a submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+@dataclass
+class QuerySession:
+    """One submitted query with its scheduling attributes and progress."""
+
+    ticket: int
+    query: Query
+    engine: str
+    profile: str
+    config: SkinnerConfig
+    threads: int = 1
+    forced_order: tuple[str, ...] | None = None
+    weight: float = 1.0
+    priority: int = 0
+    fingerprint: str | None = None
+    state: SessionState = SessionState.QUEUED
+    task: EpisodeTask | None = None
+    result: QueryResult | None = None
+    error: Exception | None = None
+    episodes: int = 0
+    virtual_time: float = 0.0
+    #: Virtual-clock reading (ledger grand total) at completion; the
+    #: deterministic time-to-first-result measure of the serving benchmark.
+    completed_at_work: int | None = None
+    submitted_at: float = field(default_factory=time.perf_counter)
+    #: Whether the result was served from the result cache without running.
+    cache_hit: bool = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the session reached a terminal state."""
+        return self.state in (SessionState.FINISHED, SessionState.CANCELLED,
+                              SessionState.FAILED)
+
+    def work_total(self) -> int:
+        """Work units charged by this session's task so far."""
+        return self.task.work_total() if self.task is not None else 0
+
+
+class MonolithicTask:
+    """Adapter running a non-resumable engine as one (unbounded) episode.
+
+    The traditional, eddy, and re-optimizer baselines have no suspend/resume
+    machinery; routed through the server they execute in a single episode.
+    They still get admission control, caching, and per-query accounting —
+    but a long-running baseline query cannot be preempted, which is exactly
+    the contrast the episode-sliced Skinner engines are designed to avoid.
+    """
+
+    def __init__(self, execute: Callable[[], QueryResult]) -> None:
+        self._execute = execute
+        self._result: QueryResult | None = None
+        self.finished = False
+
+    def run_episode(self) -> bool:
+        """Run the whole query in one go."""
+        if not self.finished:
+            self._result = self._execute()
+            self.finished = True
+        return True
+
+    def work_total(self) -> int:
+        """Work total (known only after the single episode completed)."""
+        return self._result.metrics.work.total if self._result is not None else 0
+
+    def finalize(self) -> QueryResult:
+        """The result of the single episode."""
+        if self._result is None:
+            raise ReproError("MonolithicTask.finalize() called before completion")
+        return self._result
+
+
+def create_task(
+    catalog: Catalog,
+    udfs: UdfRegistry | None,
+    session: QuerySession,
+    statistics_provider: Callable[[], Any],
+    order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
+) -> EpisodeTask:
+    """Build the episode task for a session's engine choice.
+
+    ``statistics_provider`` is called lazily (only the statistics-based
+    engines need it), so serving pure Skinner-C/G traffic never pays for
+    statistics collection.
+    """
+    engine = session.engine
+    config = session.config
+    if session.forced_order is not None and engine != "traditional":
+        raise ReproError("forced_order is only supported for engine='traditional'")
+    if engine == "skinner-c":
+        runner = SkinnerC(catalog, udfs, config, threads=session.threads)
+        return runner.task(session.query, order_prior=order_prior)
+    if engine == "skinner-g":
+        runner = SkinnerG(catalog, udfs, config,
+                          dbms_profile=session.profile, threads=session.threads)
+        return runner.task(session.query)
+    if engine == "skinner-h":
+        runner = SkinnerH(catalog, udfs, config, dbms_profile=session.profile,
+                          statistics=statistics_provider(), threads=session.threads)
+        return runner.task(session.query)
+    if engine == "traditional":
+        runner = TraditionalEngine(catalog, udfs, statistics=statistics_provider(),
+                                   profile=session.profile, threads=session.threads)
+        return MonolithicTask(
+            lambda: runner.execute(session.query, forced_order=session.forced_order)
+        )
+    if engine == "eddy":
+        runner = EddyEngine(catalog, udfs, threads=session.threads)
+        return MonolithicTask(lambda: runner.execute(session.query))
+    if engine == "reoptimizer":
+        runner = ReOptimizerEngine(catalog, udfs, statistics=statistics_provider(),
+                                   threads=session.threads)
+        return MonolithicTask(lambda: runner.execute(session.query))
+    raise ReproError(f"unknown engine {engine!r}")

@@ -42,8 +42,9 @@ class PreprocessedQuery:
         Per alias, the ascending base-table row positions surviving the
         alias's unary predicates.
     join_maps:
-        ``(alias, column) -> {value: sorted filtered-array indices}`` for
-        every column involved in an equality join predicate.
+        ``(alias, column) -> GroupedJoinMap`` (value-to-sorted-indices
+        lookup in grouped-runs form) for every column involved in an
+        equality join predicate.
     join_predicates:
         The query's join predicates (index order is stable and used to keep
         track of which have been applied).
@@ -53,7 +54,7 @@ class PreprocessedQuery:
     aliases: tuple[str, ...]
     tables: dict[str, Table]
     filtered: dict[str, np.ndarray]
-    join_maps: dict[tuple[str, str], dict[Any, np.ndarray]] = field(default_factory=dict)
+    join_maps: dict[tuple[str, str], "GroupedJoinMap"] = field(default_factory=dict)
     join_predicates: list[Predicate] = field(default_factory=list)
     _physical_cache: dict[tuple[str, str], np.ndarray] = field(
         default_factory=dict, repr=False
@@ -191,8 +192,120 @@ def preprocess(
     return prepared
 
 
+class GroupedJoinMap:
+    """One join column's bucket index in the kernel's grouped-runs form.
+
+    The dict-based predecessor decoded every distinct key into a Python
+    object and materialized a ``{value: rows}`` dict — one decode, one hash,
+    and one slice per distinct key at build time.  This map keeps the
+    :class:`~repro.engine.joinkernels.GroupedRows` of the *physical* column
+    values directly (dictionary codes for strings): build is the shared
+    ``group_rows`` sort with no per-key Python loop, and :meth:`get`
+    translates the probe value into the physical domain and binary-searches
+    the sorted run keys.
+
+    Lookup semantics match the dict exactly:
+
+    * rows within a bucket stay in ascending order (stable grouping sort),
+      which the hash-jump's per-bucket ``searchsorted`` relies on;
+    * float NaN keys form singleton runs no probe can find again
+      (``nan != nan``) — the pinned NaN-never-matches join semantics;
+    * cross-type probes follow Python ``==``: ``1`` finds ``1.0`` and vice
+      versa (only when the conversion is exact, so huge ints and floats
+      beyond 2**53 never invent matches), while a string probed against a
+      numeric column (or the reverse) matches nothing.
+    """
+
+    __slots__ = ("_column", "_keys", "_rows", "_starts", "_counts", "_memo")
+
+    def __init__(self, column, positions: np.ndarray) -> None:
+        self._column = column
+        grouped = group_rows(column.data[positions])
+        self._keys = grouped.keys
+        self._rows = grouped.rows
+        self._starts = grouped.starts
+        self._counts = grouped.counts
+        #: Probe memo: the hash-jump probes the same decoded values once per
+        #: index advance, so the first lookup's encode + binary search is
+        #: cached and every repeat is one dict hit — the lazily materialized
+        #: subset of the old eager ``{value: rows}`` dict that is actually
+        #: probed.  (NaN probes bypass the memo: ``nan != nan`` would grow
+        #: it without bound.)
+        self._memo: dict[Any, np.ndarray | None] = {}
+
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+    def __contains__(self, value: Any) -> bool:
+        return self.get(value) is not None
+
+    def _encode_probe(self, value: Any) -> Any | None:
+        """Translate a decoded probe value into the physical key domain.
+
+        Returns ``None`` when no key can possibly equal the value (type
+        mismatch, absent dictionary string, inexact int/float conversion).
+        """
+        if self._column.ctype is ColumnType.STRING:
+            if not isinstance(value, str):
+                return None
+            code = self._column.encode(value)
+            return code if code >= 0 else None
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float, np.integer, np.floating)):
+            return None
+        if self._keys.dtype.kind in "iu":
+            if isinstance(value, (float, np.floating)):
+                # Only exactly-integral in-range floats can equal an int key.
+                if not (np.isfinite(value) and float(value).is_integer()):
+                    return None
+                as_int = int(value)
+                if not (-(2**63) <= as_int < 2**63):
+                    return None
+                return as_int
+            return int(value)
+        if isinstance(value, (int, np.integer)):
+            try:
+                as_float = float(value)
+            except OverflowError:
+                return None
+            # An inexact conversion means no float64 key equals this int.
+            if int(as_float) != int(value):
+                return None
+            return as_float
+        return float(value)
+
+    def get(self, value: Any) -> np.ndarray | None:
+        """Rows whose join column equals ``value``, or ``None`` (no bucket).
+
+        The returned array is a view of the grouped run — ascending filtered
+        indices, exactly what the dict-based map stored per key.
+        """
+        if isinstance(value, float) and value != value:
+            return None  # NaN never matches (pinned join semantics)
+        try:
+            return self._memo[value]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable probe values can never equal a key
+            return None
+        matches = self._lookup(value)
+        self._memo[value] = matches
+        return matches
+
+    def _lookup(self, value: Any) -> np.ndarray | None:
+        probe = self._encode_probe(value)
+        if probe is None or self._keys.shape[0] == 0:
+            return None
+        position = int(np.searchsorted(self._keys, probe))
+        if position >= self._keys.shape[0] or self._keys[position] != probe:
+            return None  # also NaN keys at this position: nan != nan
+        start = int(self._starts[position])
+        return self._rows[start:start + int(self._counts[position])]
+
+
 def _build_join_maps(prepared: PreprocessedQuery, meter: CostMeter) -> None:
-    """Hash each join column of each filtered table (paper §4.5, hashing)."""
+    """Index each join column of each filtered table (paper §4.5, hashing)."""
     wanted: set[tuple[str, str]] = set()
     for predicate in prepared.join_predicates:
         if not predicate.is_equi_join:
@@ -204,35 +317,8 @@ def _build_join_maps(prepared: PreprocessedQuery, meter: CostMeter) -> None:
         table = prepared.tables[alias]
         column = table.column(column_name)
         positions = prepared.filtered[alias]
-        # Hashing the filtered tuples is build work: charge it as scan, like
+        # Grouping the filtered tuples is build work: charge it as scan, like
         # the plan executor's hash-join build, so meter profiles compare the
         # same quantities across join implementations.
         meter.charge_scan(int(positions.shape[0]))
-        prepared.join_maps[(alias, column_name)] = _group_by_value(column, positions)
-
-
-def _group_by_value(column, positions: np.ndarray) -> dict[Any, np.ndarray]:
-    """Group filtered-array indices by decoded column value, vectorized.
-
-    Built on the shared :func:`repro.engine.joinkernels.group_rows`
-    primitive: its stable argsort keeps the indices of equal keys in
-    ascending order, which the hash-jump relies on (``searchsorted`` over
-    each bucket).  Float NaN keys form singleton buckets that no probe value
-    can look up again (``nan != nan``), matching the executors' pinned
-    NaN-never-matches join semantics.
-    """
-    if positions.shape[0] == 0:
-        return {}
-    grouped = group_rows(column.data[positions])
-    result: dict[Any, np.ndarray] = {}
-    for index in range(grouped.keys.shape[0]):
-        raw = grouped.keys[index]
-        if column.ctype is ColumnType.STRING:
-            key: Any = column.dictionary[int(raw)]
-        elif column.ctype is ColumnType.INT:
-            key = int(raw)
-        else:
-            key = float(raw)
-        start = int(grouped.starts[index])
-        result[key] = grouped.rows[start:start + int(grouped.counts[index])]
-    return result
+        prepared.join_maps[(alias, column_name)] = GroupedJoinMap(column, positions)

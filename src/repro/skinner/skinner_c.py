@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 import time
+from collections.abc import Sequence
 from typing import Any
 
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
@@ -34,6 +35,165 @@ from repro.storage.catalog import Catalog
 from repro.uct.tree import UctJoinTree
 
 _MAX_SLICES = 5_000_000
+
+
+class SkinnerCTask:
+    """Episode-sliced execution of one query on the Skinner-C engine.
+
+    The execution loop of Algorithm 3 — choose a join order, restore its
+    state, run one budgeted slice of the multi-way join, reward the UCT tree
+    — is exposed one *episode* (one time slice) at a time, so a scheduler
+    can interleave many queries on one thread: :meth:`run_episode` executes
+    exactly one slice and returns whether the query's join phase finished,
+    and :meth:`finalize` materializes the result.  Driving a task to
+    completion performs exactly the same slice sequence (and charges exactly
+    the same meter work) as the monolithic :meth:`SkinnerC.execute` loop,
+    which is what makes interleaved and solo runs byte-identical.
+
+    Parameters
+    ----------
+    order_prior:
+        Optional warm-start from the cross-query join-order cache: an
+        iterable of ``(order, average_reward, visits)`` triples seeded into
+        the fresh UCT tree before the first episode (see
+        :meth:`repro.uct.tree.UctJoinTree.seed`).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: Query,
+        udfs: UdfRegistry | None = None,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        order_selection: str = "uct",
+        threads: int = 1,
+        engine_name: str = "skinner-c",
+        trace: bool = False,
+        order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
+    ) -> None:
+        self._config = config
+        self._order_selection = order_selection
+        self._threads = threads
+        self._engine_name = engine_name
+        self._trace = trace
+        self._profile = get_profile("skinner")
+        self._started = time.perf_counter()
+        self.query = query
+        self.pre_meter = CostMeter()
+        self.join_meter = CostMeter()
+        self.prepared = preprocess(
+            catalog, query, udfs, self.pre_meter,
+            build_hash_maps=config.use_hash_jump,
+        )
+        self._udfs = udfs
+        self._cardinalities = self.prepared.cardinalities()
+        self.result_set = JoinResultSet(self.prepared.aliases)
+        self.tree = UctJoinTree(
+            query.join_graph(),
+            exploration_weight=config.exploration_weight,
+            seed=config.seed,
+        )
+        for order, reward, visits in order_prior or ():
+            self.tree.seed(order, reward, visits)
+        self.tracker = ProgressTracker(
+            self.prepared.aliases, share_prefixes=config.share_progress
+        )
+        self.join = MultiwayJoin(
+            self.prepared,
+            udfs,
+            use_hash_jump=config.use_hash_jump,
+            batch_size=config.batch_size,
+        )
+        self._compute_reward = reward_function(config.reward_function)
+        self._rng = random.Random(config.seed)
+        self._graph = query.join_graph()
+        self.slices = 0
+        self.trace_records: list[dict[str, Any]] = []
+        self.finished = self.prepared.is_empty() or query.num_tables == 1
+        if query.num_tables == 1 and not self.prepared.is_empty():
+            alias = self.prepared.aliases[0]
+            for filtered_index in range(self._cardinalities[alias]):
+                self.result_set.add((self.prepared.base_row(alias, filtered_index),))
+
+    def work_total(self) -> int:
+        """Total work units charged to this query so far (pre + join phase)."""
+        return self.pre_meter.total + self.join_meter.total
+
+    def run_episode(self) -> bool:
+        """Execute one time slice; returns ``True`` when the join finished."""
+        if self.finished:
+            return True
+        self.slices += 1
+        if self.slices > _MAX_SLICES:
+            raise ExecutionError("Skinner-C exceeded the maximum number of time slices")
+        if self._order_selection == "uct":
+            order = self.tree.choose_order()
+        else:
+            order = SkinnerC._random_order(self._graph, self._rng)
+        state = self.tracker.restore(order, self._cardinalities)
+        prior = state.copy()
+        finished = self.join.continue_join(
+            state,
+            self.tracker.offsets,
+            self._config.slice_budget,
+            self.result_set,
+            self.join_meter,
+        )
+        reward = self._compute_reward(prior, state, self._cardinalities)
+        self.tree.update(order, reward)
+        self.tracker.backup(state)
+        if self._config.use_offsets:
+            self.tracker.advance_offset(order[0], state.indices[0])
+            if any(
+                self.tracker.offsets[a] >= self._cardinalities[a]
+                for a in self.prepared.aliases
+            ):
+                finished = True
+        if self._trace:
+            self.trace_records.append(
+                {"slice": self.slices, "uct_nodes": self.tree.node_count(), "order": order}
+            )
+        self.finished = finished
+        return finished
+
+    def finalize(self) -> QueryResult:
+        """Post-process the join result and assemble metrics."""
+        relation = self.result_set.to_relation()
+        output = post_process(
+            self.query, relation, self.prepared.tables, self._udfs, self.join_meter,
+            mode=self._config.postprocess_mode,
+        )
+        total_meter = CostMeter()
+        total_meter.merge(self.pre_meter)
+        total_meter.merge(self.join_meter)
+        simulated = self._profile.simulated_time(
+            self.pre_meter.snapshot(), threads=self._threads
+        ) + self._profile.simulated_time(self.join_meter.snapshot(), threads=1)
+        metrics = QueryMetrics(
+            engine=self._engine_name,
+            work=total_meter.snapshot(),
+            simulated_time=simulated,
+            wall_time_seconds=time.perf_counter() - self._started,
+            intermediate_cardinality=self.join_meter.tuples_scanned,
+            result_rows=output.num_rows,
+            final_join_order=(
+                self.tree.best_order() if self._order_selection == "uct" else None
+            ),
+            time_slices=self.slices,
+            uct_nodes=self.tree.node_count(),
+            tracker_nodes=self.tracker.node_count(),
+            result_tuple_count=len(self.result_set),
+            extra={
+                "result_bytes": self.result_set.estimated_bytes(),
+                "tracker_bytes": self.tracker.estimated_bytes(),
+                "uct_bytes": self.tree.node_count() * 64,
+                "top_orders": self.tree.top_orders(5),
+                "trace": self.trace_records,
+                "threads": self._threads,
+            },
+        )
+        return QueryResult(output, metrics)
 
 
 class SkinnerC:
@@ -84,103 +244,32 @@ class SkinnerC:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def task(
+        self,
+        query: Query,
+        *,
+        trace: bool = False,
+        order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
+    ) -> SkinnerCTask:
+        """Create a resumable episode task for ``query`` (see SkinnerCTask)."""
+        return SkinnerCTask(
+            self._catalog,
+            query,
+            self._udfs,
+            self._config,
+            order_selection=self._order_selection,
+            threads=self._threads,
+            engine_name=self.name,
+            trace=trace,
+            order_prior=order_prior,
+        )
+
     def execute(self, query: Query, *, trace: bool = False) -> QueryResult:
         """Execute a query and return its result with metrics."""
-        started = time.perf_counter()
-        pre_meter = CostMeter()
-        join_meter = CostMeter()
-
-        build_maps = self._config.use_hash_jump
-        prepared = preprocess(
-            self._catalog, query, self._udfs, pre_meter, build_hash_maps=build_maps
-        )
-        cardinalities = prepared.cardinalities()
-        result_set = JoinResultSet(prepared.aliases)
-        tree = UctJoinTree(
-            query.join_graph(),
-            exploration_weight=self._config.exploration_weight,
-            seed=self._config.seed,
-        )
-        tracker = ProgressTracker(prepared.aliases, share_prefixes=self._config.share_progress)
-        join = MultiwayJoin(
-            prepared,
-            self._udfs,
-            use_hash_jump=self._config.use_hash_jump,
-            batch_size=self._config.batch_size,
-        )
-        compute_reward = reward_function(self._config.reward_function)
-        rng = random.Random(self._config.seed)
-        graph = query.join_graph()
-
-        slices = 0
-        trace_records: list[dict[str, Any]] = []
-        finished = prepared.is_empty() or query.num_tables == 1
-        if query.num_tables == 1 and not prepared.is_empty():
-            for filtered_index in range(cardinalities[prepared.aliases[0]]):
-                result_set.add((prepared.base_row(prepared.aliases[0], filtered_index),))
-
-        while not finished:
-            slices += 1
-            if slices > _MAX_SLICES:
-                raise ExecutionError("Skinner-C exceeded the maximum number of time slices")
-            if self._order_selection == "uct":
-                order = tree.choose_order()
-            else:
-                order = self._random_order(graph, rng)
-            state = tracker.restore(order, cardinalities)
-            prior = state.copy()
-            finished = join.continue_join(
-                state,
-                tracker.offsets,
-                self._config.slice_budget,
-                result_set,
-                join_meter,
-            )
-            reward = compute_reward(prior, state, cardinalities)
-            tree.update(order, reward)
-            tracker.backup(state)
-            if self._config.use_offsets:
-                tracker.advance_offset(order[0], state.indices[0])
-                if any(tracker.offsets[a] >= cardinalities[a] for a in prepared.aliases):
-                    finished = True
-            if trace:
-                trace_records.append(
-                    {"slice": slices, "uct_nodes": tree.node_count(), "order": order}
-                )
-
-        relation = result_set.to_relation()
-        output = post_process(query, relation, prepared.tables, self._udfs, join_meter,
-                              mode=self._config.postprocess_mode)
-
-        total_meter = CostMeter()
-        total_meter.merge(pre_meter)
-        total_meter.merge(join_meter)
-        simulated = self._profile.simulated_time(
-            pre_meter.snapshot(), threads=self._threads
-        ) + self._profile.simulated_time(join_meter.snapshot(), threads=1)
-
-        metrics = QueryMetrics(
-            engine=self.name,
-            work=total_meter.snapshot(),
-            simulated_time=simulated,
-            wall_time_seconds=time.perf_counter() - started,
-            intermediate_cardinality=join_meter.tuples_scanned,
-            result_rows=output.num_rows,
-            final_join_order=tree.best_order() if self._order_selection == "uct" else None,
-            time_slices=slices,
-            uct_nodes=tree.node_count(),
-            tracker_nodes=tracker.node_count(),
-            result_tuple_count=len(result_set),
-            extra={
-                "result_bytes": result_set.estimated_bytes(),
-                "tracker_bytes": tracker.estimated_bytes(),
-                "uct_bytes": tree.node_count() * 64,
-                "top_orders": tree.top_orders(5),
-                "trace": trace_records,
-                "threads": self._threads,
-            },
-        )
-        return QueryResult(output, metrics)
+        task = self.task(query, trace=trace)
+        while not task.finished:
+            task.run_episode()
+        return task.finalize()
 
     def execute_with_order(self, query: Query, order: tuple[str, ...]) -> QueryResult:
         """Execute a query with one fixed join order on the Skinner-C engine.

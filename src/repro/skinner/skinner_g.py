@@ -128,7 +128,8 @@ class GenericLearningRun:
         """Uniform random join order (Cartesian-avoiding) for the ablation."""
         import random
 
-        rng = random.Random(None if self.config.seed is None else self.config.seed + self.iterations)
+        seed = None if self.config.seed is None else self.config.seed + self.iterations
+        rng = random.Random(seed)
         prefix: list[str] = []
         while len(prefix) < self.query.num_tables:
             prefix.append(rng.choice(self._graph.eligible_next(prefix)))
@@ -165,6 +166,43 @@ class GenericLearningRun:
         return busiest.best_order()
 
 
+class SkinnerGTask:
+    """Episode-sliced execution of one query on the Skinner-G engine.
+
+    One episode is one iteration of Algorithm 1 — one batch attempt under
+    the pyramid timeout scheme (:meth:`GenericLearningRun.step`).  Driving
+    the task to completion performs exactly the same iteration sequence and
+    meter charges as the monolithic :meth:`SkinnerG.execute` loop.
+    """
+
+    def __init__(self, engine: "SkinnerG", query: Query) -> None:
+        self._engine = engine
+        self._query = query
+        self._started = time.perf_counter()
+        self.run = GenericLearningRun(engine._catalog, query, engine._udfs, engine._config)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the join phase has completed."""
+        return self.run.finished
+
+    def work_total(self) -> int:
+        """Total work units charged to this query so far."""
+        return self.run.meter.total
+
+    def run_episode(self) -> bool:
+        """Run one batch attempt; returns ``True`` when the join finished."""
+        if not self.run.finished:
+            self.run.step()
+        return self.run.finished
+
+    def finalize(self) -> QueryResult:
+        """Post-process the join result and assemble metrics."""
+        return self._engine._finalize(
+            self._query, self.run, self._started, engine_name=self._engine.name
+        )
+
+
 class SkinnerG:
     """The Skinner-G engine wrapper producing query results and metrics."""
 
@@ -190,13 +228,16 @@ class SkinnerG:
         """Engine name used in reports."""
         return f"skinner-g({self._profile.name})"
 
+    def task(self, query: Query) -> SkinnerGTask:
+        """Create a resumable episode task for ``query`` (see SkinnerGTask)."""
+        return SkinnerGTask(self, query)
+
     def execute(self, query: Query) -> QueryResult:
         """Execute a query with pure in-query learning on the generic engine."""
-        started = time.perf_counter()
-        run = GenericLearningRun(self._catalog, query, self._udfs, self._config)
-        while not run.finished:
-            run.step()
-        return self._finalize(query, run, started, engine_name=self.name)
+        task = self.task(query)
+        while not task.finished:
+            task.run_episode()
+        return task.finalize()
 
     # ------------------------------------------------------------------
     # shared with Skinner-H

@@ -34,6 +34,102 @@ _MAX_ROUNDS = 64
 _MAX_EXHAUSTIVE_TABLES = 11
 
 
+class SkinnerHTask:
+    """Episode-sliced execution of one query on the Skinner-H engine.
+
+    The hybrid's round structure is exposed as a sequence of episodes: one
+    episode is either a whole traditional-plan attempt under the current
+    (doubling) timeout, or a single learning iteration of the embedded
+    Skinner-G run.  Driving the task to completion performs exactly the same
+    attempt/learning sequence — and charges exactly the same meter work — as
+    the monolithic :meth:`SkinnerH.execute` loop.
+    """
+
+    def __init__(self, engine: "SkinnerH", query: Query) -> None:
+        self._engine = engine
+        self._query = query
+        self._started = time.perf_counter()
+        self._plan = engine._traditional_plan(query)
+        self.run = GenericLearningRun(engine._catalog, query, engine._udfs, engine._config)
+        self._traditional_meter = CostMeter()
+        self._result: QueryResult | None = None
+        self.finished = False
+        self._episodes = self._episode_generator()
+
+    def work_total(self) -> int:
+        """Total work units charged to this query so far (both strategies)."""
+        return self.run.meter.total + self._traditional_meter.total
+
+    def run_episode(self) -> bool:
+        """Run one episode; returns ``True`` when the query has completed."""
+        if self.finished:
+            return True
+        try:
+            next(self._episodes)
+        except StopIteration:
+            self.finished = True
+        return self.finished
+
+    def finalize(self) -> QueryResult:
+        """The final result (the task must have finished)."""
+        if self._result is None:
+            raise ExecutionError("SkinnerHTask.finalize() called before completion")
+        return self._result
+
+    def _episode_generator(self):
+        engine = self._engine
+        query, plan, run = self._query, self._plan, self.run
+        if run.finished:
+            # Trivial queries (single table / empty input) need no join phase.
+            self._result = engine._generic._finalize(
+                query, run, self._started, engine_name=engine.name,
+                extra={"winner": "learning", "rounds": 0, "plan": plan.order},
+            )
+            return
+        for round_index in range(_MAX_ROUNDS):
+            budget = engine._config.base_timeout * 2**round_index
+            # 1. Try the traditional optimizer's plan under the current timeout.
+            executor = PlanExecutor(engine._catalog, query, engine._udfs,
+                                    join_mode=engine._config.join_mode)
+            attempt_meter = CostMeter(budget=budget)
+            relation = None
+            try:
+                relation = executor.execute_order(plan.order, attempt_meter)
+            except BudgetExceeded:
+                pass
+            finally:
+                # Merge unconditionally: an attempt aborted by any other
+                # exception (e.g. a raising UDF) still consumed this work,
+                # and the serving ledger reads it through work_total().
+                self._traditional_meter.merge(attempt_meter)
+            if relation is not None:
+                output = post_process(query, relation, executor.tables, engine._udfs,
+                                      self._traditional_meter,
+                                      mode=engine._config.postprocess_mode)
+                self._result = engine._traditional_result(
+                    query, output, plan, run, self._traditional_meter,
+                    self._started, round_index,
+                )
+                return
+            yield  # episode boundary: one timed-out traditional attempt
+            # 2. Give the learning run the same amount of work.
+            learned = 0
+            while learned < budget and not run.finished:
+                learned += run.step()
+                if run.finished:
+                    break
+                yield  # episode boundary: one learning iteration
+            if run.finished:
+                self._result = engine._generic._finalize(
+                    query, run, self._started, engine_name=engine.name,
+                    extra={"winner": "learning", "rounds": round_index + 1,
+                           "plan": plan.order},
+                    extra_work=self._traditional_meter,
+                )
+                return
+        raise ExecutionError("Skinner-H did not converge within the round limit")
+
+
 class SkinnerH:
     """The hybrid Skinner engine on top of a generic execution engine."""
 
@@ -80,49 +176,16 @@ class SkinnerH:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def task(self, query: Query) -> SkinnerHTask:
+        """Create a resumable episode task for ``query`` (see SkinnerHTask)."""
+        return SkinnerHTask(self, query)
+
     def execute(self, query: Query) -> QueryResult:
         """Execute a query by interleaving the optimizer plan with learning."""
-        started = time.perf_counter()
-        plan = self._traditional_plan(query)
-        run = GenericLearningRun(self._catalog, query, self._udfs, self._config)
-        traditional_meter = CostMeter()
-
-        if run.finished:
-            # Trivial queries (single table / empty input) need no join phase.
-            return self._generic._finalize(
-                query, run, started, engine_name=self.name,
-                extra={"winner": "learning", "rounds": 0, "plan": plan.order},
-            )
-
-        for round_index in range(_MAX_ROUNDS):
-            budget = self._config.base_timeout * 2**round_index
-            # 1. Try the traditional optimizer's plan under the current timeout.
-            executor = PlanExecutor(self._catalog, query, self._udfs,
-                                    join_mode=self._config.join_mode)
-            attempt_meter = CostMeter(budget=budget)
-            try:
-                relation = executor.execute_order(plan.order, attempt_meter)
-                traditional_meter.merge(attempt_meter)
-                output = post_process(query, relation, executor.tables, self._udfs,
-                                      traditional_meter,
-                                      mode=self._config.postprocess_mode)
-                return self._traditional_result(
-                    query, output, plan, run, traditional_meter, started, round_index
-                )
-            except BudgetExceeded:
-                traditional_meter.merge(attempt_meter)
-            # 2. Give the learning run the same amount of work.
-            learned = 0
-            while learned < budget and not run.finished:
-                learned += run.step()
-            if run.finished:
-                return self._generic._finalize(
-                    query, run, started, engine_name=self.name,
-                    extra={"winner": "learning", "rounds": round_index + 1,
-                           "plan": plan.order},
-                    extra_work=traditional_meter,
-                )
-        raise ExecutionError("Skinner-H did not converge within the round limit")
+        task = self.task(query)
+        while not task.finished:
+            task.run_episode()
+        return task.finalize()
 
     def _traditional_result(
         self,

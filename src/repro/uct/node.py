@@ -43,6 +43,18 @@ class UctNode:
         self.visits += 1
         self.reward_sum += reward
 
+    def seed(self, reward: float, visits: int) -> None:
+        """Bulk-record ``visits`` pseudo-visits of average reward ``reward``.
+
+        Used to warm-start a tree from statistics learned by an earlier query
+        on the same join graph; equivalent to ``visits`` calls to
+        :meth:`update` without the per-call overhead.
+        """
+        if visits < 0:
+            raise ValueError("visits must be non-negative")
+        self.visits += visits
+        self.reward_sum += reward * visits
+
     def subtree_size(self) -> int:
         """Number of materialized nodes in this subtree (including self)."""
         return 1 + sum(child.subtree_size() for child in self.children.values())

@@ -121,6 +121,43 @@ class UctJoinTree:
             node = child
 
     # ------------------------------------------------------------------
+    # warm-starting (cross-query join-order cache)
+    # ------------------------------------------------------------------
+    def seed(self, order: Sequence[str], reward: float, visits: int = 1) -> None:
+        """Pre-load the path of ``order`` with pseudo-visits of ``reward``.
+
+        Materializes every node along the path and credits it with
+        ``visits`` visits of average reward ``reward`` (clamped to [0, 1]),
+        so the first real :meth:`choose_order` calls are biased toward join
+        orders that worked well for earlier queries on the same join graph.
+
+        Along the path, every *eligible sibling* is also materialized with
+        a neutral one-visit prior: :meth:`choose_order` samples unexplored
+        children before applying UCB1, so a path-only seed would still pay
+        one episode per untried arm — exactly the cold-start cost the seed
+        exists to skip.  A neutral sibling loses the UCB comparison against
+        any seeded (or genuinely rewarding) arm but stays available as a
+        fallback once the seeded pseudo-visits dilute.
+
+        The pseudo-visits decay naturally: real rewards keep accumulating
+        on the same counters, so a stale prior is overridden by observation.
+        """
+        if visits <= 0:
+            return
+        reward = min(1.0, max(0.0, reward))
+        node = self._root
+        node.seed(reward, visits)
+        prefix: list[str] = []
+        for action in order:
+            for sibling in self._graph.eligible_next(prefix):
+                if sibling != action and node.child(sibling) is None:
+                    node.add_child(sibling).seed(0.0, 1)
+            child = node.add_child(action)
+            child.seed(reward, visits)
+            node = child
+            prefix.append(action)
+
+    # ------------------------------------------------------------------
     # inspection helpers
     # ------------------------------------------------------------------
     def best_order(self) -> tuple[str, ...]:

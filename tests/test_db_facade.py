@@ -92,6 +92,55 @@ class TestQueryExecution:
         assert sorted(row["did"] for row in result.rows) == [1, 2, 3]
 
 
+class TestServingLayerRouting:
+    """db.execute routes through the QueryServer; execute_direct bypasses it."""
+
+    JOIN_SQL = TestQueryExecution.JOIN_SQL
+
+    def test_execute_goes_through_server(self, db):
+        db.execute(self.JOIN_SQL)
+        assert db.server.stats()["completed"] == 1
+
+    def test_direct_path_matches_server_path_per_engine(self, db):
+        for engine in ENGINE_NAMES:
+            served = db.execute(self.JOIN_SQL, engine=engine, use_result_cache=False)
+            direct = db.execute_direct(self.JOIN_SQL, engine=engine)
+            assert served.rows == direct.rows, engine
+            assert served.metrics.work == direct.metrics.work, engine
+
+    def test_repeated_execute_hits_result_cache(self, db):
+        first = db.execute(self.JOIN_SQL)
+        second = db.execute(self.JOIN_SQL)
+        assert second.rows == first.rows
+        assert second.metrics.extra.get("result_cache") == "hit"
+        assert first.metrics.extra.get("result_cache") is None
+
+    def test_schema_change_invalidates_result_cache(self, db):
+        db.execute("SELECT COUNT(*) AS n FROM emp")
+        db.create_table("emp", {"eid": [1], "did": [1], "salary": [7]}, replace=True)
+        result = db.execute("SELECT COUNT(*) AS n FROM emp")
+        assert result.rows[0]["n"] == 1
+        assert result.metrics.extra.get("result_cache") is None
+
+    def test_udf_registration_invalidates_result_cache(self, db):
+        db.register_udf("cheap", lambda s: s < 100)
+        sql = "SELECT COUNT(*) AS n FROM emp e WHERE cheap(e.salary)"
+        assert db.execute(sql).rows[0]["n"] == 3
+        db.register_udf("cheap", lambda s: s < 95, replace=True)
+        result = db.execute(sql)
+        assert result.rows[0]["n"] == 2
+        assert result.metrics.extra.get("result_cache") is None
+
+    def test_cache_opt_out_recomputes(self, db):
+        db.execute(self.JOIN_SQL)
+        fresh = db.execute(self.JOIN_SQL, use_result_cache=False)
+        assert fresh.metrics.extra.get("result_cache") is None
+
+    def test_forced_order_via_server(self, db):
+        result = db.execute(self.JOIN_SQL, engine="traditional", forced_order=("d", "e"))
+        assert result.metrics.final_join_order == ("d", "e")
+
+
 class TestUdfs:
     def test_register_and_use_in_sql(self, db):
         db.register_udf("well_paid", lambda s: s >= 100)

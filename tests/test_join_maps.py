@@ -1,0 +1,120 @@
+"""Tests for the grouped-runs join maps of the Skinner preprocessor.
+
+``GroupedJoinMap`` replaced the eager ``{decoded value: rows}`` dict with
+the hash-join kernel's grouped-runs form plus a binary-search lookup.  The
+lookup must preserve the dict's semantics *exactly* — the hash-jump of the
+multi-way join and the eddy baseline probe it once per index advance:
+
+* buckets are ascending filtered indices (stable grouping sort);
+* float NaN keys and NaN probes never match (pinned join semantics);
+* cross-type probes follow Python ``==``: ``1`` finds ``1.0`` and vice
+  versa, but only under *exact* conversion (``2**53 + 1`` never finds
+  ``2.0**53``), and string-vs-numeric probes match nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.meter import CostMeter
+from repro.query.predicates import column_equals_column
+from repro.query.query import make_query
+from repro.skinner.preprocessor import GroupedJoinMap, preprocess
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def _map_for(column_values, column_name="c"):
+    table = Table("t", {column_name: column_values})
+    positions = np.arange(table.num_rows, dtype=np.int64)
+    return GroupedJoinMap(table.column(column_name), positions)
+
+
+class TestIntKeys:
+    def test_buckets_are_ascending_filtered_indices(self):
+        jmap = _map_for([5, 1, 5, 3, 5])
+        assert list(jmap.get(5)) == [0, 2, 4]
+        assert list(jmap.get(1)) == [1]
+        assert jmap.get(2) is None
+
+    def test_float_probe_matches_only_exact_integrals(self):
+        jmap = _map_for([5, 1, 3])
+        assert list(jmap.get(5.0)) == [0]
+        assert jmap.get(5.5) is None
+        assert jmap.get(float("inf")) is None
+        assert jmap.get(float("nan")) is None
+
+    def test_bool_probe_behaves_like_int(self):
+        jmap = _map_for([0, 1, 2])
+        assert list(jmap.get(True)) == [1]
+        assert list(jmap.get(False)) == [0]
+
+    def test_out_of_range_and_string_probes_match_nothing(self):
+        jmap = _map_for([5, 1, 3])
+        assert jmap.get(2**64) is None
+        assert jmap.get(float(2**64)) is None
+        assert jmap.get("5") is None
+        assert jmap.get(None) is None
+        assert jmap.get([5]) is None  # unhashable: never equal to a key
+
+
+class TestFloatKeys:
+    def test_nan_keys_never_match_any_probe(self):
+        nan = float("nan")
+        jmap = _map_for([1.0, nan, 2.5, nan])
+        assert list(jmap.get(1.0)) == [0]
+        assert list(jmap.get(2.5)) == [2]
+        assert jmap.get(nan) is None
+        assert jmap.get(float("nan")) is None
+
+    def test_int_probe_requires_exact_float_conversion(self):
+        jmap = _map_for([float(2**53), 1.0])
+        assert list(jmap.get(2**53)) == [0]
+        # float(2**53 + 1) rounds to 2.0**53; the dict path would not have
+        # found a key equal to 2**53 + 1, so neither may this lookup.
+        assert jmap.get(2**53 + 1) is None
+        assert list(jmap.get(1)) == [1]
+
+
+class TestStringKeys:
+    def test_dictionary_codes_and_absent_values(self):
+        jmap = _map_for(["b", "a", "b", "c"])
+        assert list(jmap.get("b")) == [0, 2]
+        assert list(jmap.get("c")) == [3]
+        assert jmap.get("z") is None
+        assert jmap.get(1) is None  # numeric vs string: Python == is False
+
+
+class TestMemoAndEmpty:
+    def test_empty_positions(self):
+        table = Table("t", {"c": [1, 2, 3]})
+        jmap = GroupedJoinMap(table.column("c"), np.empty(0, dtype=np.int64))
+        assert len(jmap) == 0
+        assert jmap.get(1) is None
+
+    def test_repeated_probes_hit_the_memo(self):
+        jmap = _map_for([5, 1, 5])
+        first = jmap.get(5)
+        assert jmap.get(5) is first  # same cached array, no re-search
+        assert jmap.get(7) is None
+        assert jmap.get(7) is None
+
+    def test_contains_delegates_to_get(self):
+        jmap = _map_for([5, 1])
+        assert 5 in jmap
+        assert 2 not in jmap
+
+
+def test_preprocessor_builds_grouped_maps_and_charges_scan():
+    catalog = Catalog()
+    catalog.add_table(Table("r", {"k": [1, 2, 2, 3]}))
+    catalog.add_table(Table("s", {"k": [2, 3, 3]}))
+    query = make_query(["r", "s"], predicates=[column_equals_column("r", "k", "s", "k")])
+    meter = CostMeter()
+    prepared = preprocess(catalog, query, None, meter)
+    assert set(prepared.join_maps) == {("r", "k"), ("s", "k")}
+    assert isinstance(prepared.join_maps[("r", "k")], GroupedJoinMap)
+    assert list(prepared.join_maps[("r", "k")].get(2)) == [1, 2]
+    assert list(prepared.join_maps[("s", "k")].get(3)) == [1, 2]
+    # Build work is charged as scan: filtering (4 + 3) + map build (4 + 3).
+    assert meter.tuples_scanned == 14

@@ -1,0 +1,406 @@
+"""Tests for the concurrent query-serving subsystem.
+
+The central property: interleaving changes *when* a query's episodes run,
+never *what* they compute.  N queries served concurrently must produce
+byte-identical result tables and identical per-query meter charges to each
+query running alone on a directly constructed engine — regardless of
+weights, priorities, admission bounds, or queries being cancelled around
+them (including cancels mid-way through a query's episode sequence).  On
+top of that, the scheduler's fairness and determinism, admission control,
+and both serving caches are pinned individually.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SkinnerConfig
+from repro.errors import ReproError
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.parser import parse_query
+from repro.serving import QueryServer, SessionState
+from repro.serving.cache import join_graph_signature, query_fingerprint
+from repro.skinner.skinner_c import SkinnerC
+from repro.skinner.skinner_g import SkinnerG
+from repro.skinner.skinner_h import SkinnerH
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.generators import make_rng
+
+from test_postprocess_columnar import assert_tables_identical
+
+#: Small budgets so every query needs several episodes — otherwise the
+#: scheduler has nothing to interleave and the tests prove nothing.
+FAST = SkinnerConfig(
+    slice_budget=32,
+    batch_size=8,
+    batches_per_table=3,
+    base_timeout=150,
+    serving_warm_start=False,
+)
+
+
+def build_catalog(seed: int = 11) -> Catalog:
+    rng = make_rng(seed)
+    catalog = Catalog()
+    catalog.add_table(Table("r", {
+        "id": list(range(30)),
+        "g": [int(x) for x in rng.integers(0, 4, 30)],
+        "v": [int(x) for x in rng.integers(0, 50, 30)],
+    }))
+    catalog.add_table(Table("s", {
+        "rid": [int(x) for x in rng.integers(0, 30, 45)],
+        "w": [int(x) for x in rng.integers(0, 9, 45)],
+    }))
+    catalog.add_table(Table("t", {
+        "sid": [int(x) for x in rng.integers(0, 9, 25)],
+        "u": [int(x) for x in rng.integers(0, 100, 25)],
+    }))
+    return catalog
+
+
+QUERIES = [
+    "SELECT r.g AS g, SUM(s.w) AS total FROM r, s WHERE r.id = s.rid GROUP BY r.g ORDER BY r.g",
+    "SELECT COUNT(*) AS n FROM r, s, t WHERE r.id = s.rid AND s.w = t.sid",
+    "SELECT r.v, s.w FROM r, s WHERE r.id = s.rid AND r.g = 2 ORDER BY r.v DESC LIMIT 4",
+    "SELECT DISTINCT s.w FROM s, t WHERE s.w = t.sid",
+    "SELECT COUNT(*) AS n FROM r WHERE r.v > 25",
+    "SELECT r.g, COUNT(*) AS n FROM r, s WHERE r.id = s.rid AND s.w >= 3 GROUP BY r.g",
+]
+
+ENGINES = ["skinner-c", "skinner-g", "skinner-h"]
+
+
+@pytest.fixture(scope="module")
+def catalog() -> Catalog:
+    return build_catalog()
+
+
+def solo_result(catalog: Catalog, sql: str, engine: str, config: SkinnerConfig = FAST):
+    """Run one query on a directly constructed engine (no serving layer)."""
+    query = parse_query(sql, catalog)
+    if engine == "skinner-c":
+        return SkinnerC(catalog, None, config).execute(query)
+    if engine == "skinner-g":
+        return SkinnerG(catalog, None, config).execute(query)
+    if engine == "skinner-h":
+        return SkinnerH(catalog, None, config,
+                        statistics=StatisticsCatalog.collect(catalog)).execute(query)
+    raise AssertionError(engine)
+
+
+# ----------------------------------------------------------------------
+# the central property: interleaved == solo, under any scheduling pressure
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_interleaved_queries_match_solo_runs(catalog, data):
+    picks = data.draw(st.lists(
+        st.tuples(
+            st.integers(0, len(QUERIES) - 1),
+            st.sampled_from(ENGINES),
+            st.sampled_from([0.5, 1.0, 3.0]),   # weight
+            st.integers(0, 1),                   # priority class
+        ),
+        min_size=2, max_size=6))
+    max_inflight = data.draw(st.integers(1, 4))
+    server = QueryServer(
+        catalog, config=FAST.with_overrides(serving_max_inflight=max_inflight)
+    )
+    tickets = {}
+    for query_index, engine, weight, priority in picks:
+        ticket = server.submit(QUERIES[query_index], engine=engine,
+                               weight=weight, priority=priority,
+                               use_result_cache=False)
+        tickets[ticket] = (query_index, engine)
+
+    # Cancel one submission part-way through the drain ("mid-episode").
+    cancel_ticket = None
+    if data.draw(st.booleans()):
+        for _ in range(data.draw(st.integers(0, 12))):
+            if not server.step():
+                break
+        cancel_ticket = data.draw(st.sampled_from(sorted(tickets)))
+        server.cancel(cancel_ticket)
+
+    server.drain()
+    for ticket, (query_index, engine) in tickets.items():
+        if ticket == cancel_ticket and server.session(ticket).state is SessionState.CANCELLED:
+            with pytest.raises(ReproError):
+                server.result(ticket)
+            continue
+        served = server.result(ticket)
+        solo = solo_result(catalog, QUERIES[query_index], engine)
+        assert_tables_identical(solo.table, served.table)
+        assert served.metrics.work == solo.metrics.work, (engine, QUERIES[query_index])
+        # The ledger attributed exactly the solo run's work to this query.
+        assert server.ledger.total(ticket) == solo.metrics.work.total
+
+
+def test_identical_submission_sequence_gives_identical_schedule(catalog):
+    """Two servers fed the same sequence interleave identically."""
+
+    def serve():
+        server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=3))
+        tickets = [server.submit(sql, weight=1.0 + index % 2, priority=index % 2)
+                   for index, sql in enumerate(QUERIES)]
+        trace = []
+        while server.step():
+            trace.append(tuple(sorted(
+                (ticket, server.poll(ticket)["episodes"]) for ticket in tickets
+            )))
+        return trace, [server.ledger.total(ticket) for ticket in tickets]
+
+    assert serve() == serve()
+
+
+# ----------------------------------------------------------------------
+# fairness, priorities, admission
+# ----------------------------------------------------------------------
+def test_weighted_fair_share_tracks_weights(catalog):
+    """Backlogged sessions receive work roughly proportional to weight."""
+    server = QueryServer(catalog, config=FAST)
+    heavy = server.submit(QUERIES[1], weight=3.0, use_result_cache=False)
+    light = server.submit(QUERIES[1], weight=1.0, use_result_cache=False)
+    while not server.session(heavy).done and not server.session(light).done:
+        server.step()
+    # Same query, 3x the weight: the heavy one finishes first, and at that
+    # point the light one has received roughly a third of the work.
+    assert server.session(heavy).done and not server.session(light).done
+    heavy_work = server.ledger.total(heavy)
+    light_work = server.ledger.total(light)
+    assert 0 < light_work < 0.6 * heavy_work
+
+    server.drain()
+    assert_tables_identical(server.result(heavy).table, server.result(light).table)
+
+
+def test_short_query_is_not_stuck_behind_long_one(catalog):
+    """Episode slicing: a short query finishes before an earlier long one."""
+    server = QueryServer(catalog, config=FAST)
+    long_ticket = server.submit(QUERIES[1], use_result_cache=False)
+    short_ticket = server.submit(QUERIES[4], use_result_cache=False)
+    server.drain()
+    long_session = server.session(long_ticket)
+    short_session = server.session(short_ticket)
+    assert short_session.completed_at_work < long_session.completed_at_work
+
+
+def test_priority_class_preempts_lower_class(catalog):
+    server = QueryServer(catalog, config=FAST)
+    low = server.submit(QUERIES[1], priority=0, use_result_cache=False)
+    high = server.submit(QUERIES[1], priority=5, use_result_cache=False)
+    server.drain()
+    # The high-priority query completed first even though it arrived later.
+    assert (server.session(high).completed_at_work
+            < server.session(low).completed_at_work)
+
+
+def test_admission_bounds_inflight_and_queues_overflow(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=2))
+    tickets = [server.submit(sql, use_result_cache=False) for sql in QUERIES[:5]]
+    states = [server.poll(ticket)["state"] for ticket in tickets]
+    assert states.count("running") == 2
+    assert states.count("queued") == 3
+    positions = [server.poll(ticket)["queue_position"] for ticket in tickets[2:]]
+    assert positions == [0, 1, 2]  # FIFO within one priority class
+    server.drain()
+    assert all(server.poll(ticket)["state"] == "finished" for ticket in tickets)
+
+
+def test_queued_high_priority_dequeues_first(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=1))
+    server.submit(QUERIES[0], use_result_cache=False)
+    low = server.submit(QUERIES[1], priority=0, use_result_cache=False)
+    high = server.submit(QUERIES[2], priority=9, use_result_cache=False)
+    assert server.poll(high)["queue_position"] == 0
+    assert server.poll(low)["queue_position"] == 1
+    server.drain()
+    assert (server.session(high).completed_at_work
+            < server.session(low).completed_at_work)
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancel_queued_and_running_submissions(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=1))
+    running = server.submit(QUERIES[1], use_result_cache=False)
+    queued = server.submit(QUERIES[0], use_result_cache=False)
+    assert server.cancel(queued) is True
+    assert server.poll(queued)["state"] == "cancelled"
+
+    for _ in range(3):  # some episodes happen, then a mid-query cancel
+        server.step()
+    assert server.cancel(running) is True
+    with pytest.raises(ReproError):
+        server.result(running)
+
+    # The server stays serviceable and later work is unaffected.
+    fresh = server.submit(QUERIES[0], use_result_cache=False)
+    result = server.result(fresh)
+    assert_tables_identical(solo_result(catalog, QUERIES[0], "skinner-c").table,
+                            result.table)
+    assert server.cancel(fresh) is False  # finished queries cannot be cancelled
+
+
+def test_cancel_releases_admission_slot(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=1))
+    first = server.submit(QUERIES[1], use_result_cache=False)
+    second = server.submit(QUERIES[4], use_result_cache=False)
+    assert server.poll(second)["state"] == "queued"
+    server.cancel(first)
+    assert server.poll(second)["state"] == "running"
+    server.drain()
+    assert server.poll(second)["state"] == "finished"
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+def test_result_cache_hit_and_flag(catalog):
+    server = QueryServer(catalog, config=FAST)
+    first = server.result(server.submit(QUERIES[0]))
+    hit_ticket = server.submit(QUERIES[0])
+    assert server.poll(hit_ticket)["cache_hit"] is True
+    hit = server.result(hit_ticket)
+    assert_tables_identical(first.table, hit.table)
+    assert hit.metrics.extra["result_cache"] == "hit"
+    assert server.ledger.total(hit_ticket) == 0  # no work charged
+
+    # Different engine, profile, or config => different fingerprint.
+    miss = server.submit(QUERIES[0], engine="skinner-g")
+    assert server.poll(miss)["cache_hit"] is False
+    server.drain()
+
+
+def test_result_cache_disabled_by_config(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_result_cache_size=0))
+    server.result(server.submit(QUERIES[0]))
+    again = server.submit(QUERIES[0])
+    assert server.poll(again)["cache_hit"] is False
+    server.drain()
+
+
+def test_result_cache_lru_eviction(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_result_cache_size=2))
+    for sql in QUERIES[:3]:
+        server.result(server.submit(sql))
+    assert len(server.result_cache) == 2  # oldest entry evicted
+    oldest_again = server.submit(QUERIES[0])
+    assert server.poll(oldest_again)["cache_hit"] is False
+    server.drain()
+
+
+def test_fingerprint_normalizes_whitespace_and_case(catalog):
+    a = parse_query("SELECT COUNT(*) AS n FROM r WHERE r.v > 25", catalog)
+    b = parse_query("select   COUNT(*) AS n from r  where r.v > 25", catalog)
+    kwargs = dict(engine="skinner-c", profile="postgres", threads=1, config=FAST)
+    assert query_fingerprint(a, **kwargs) == query_fingerprint(b, **kwargs)
+    assert (query_fingerprint(a, **kwargs)
+            != query_fingerprint(a, **{**kwargs, "engine": "skinner-g"}))
+
+
+# ----------------------------------------------------------------------
+# join-order cache / warm start
+# ----------------------------------------------------------------------
+def test_same_template_queries_share_join_graph_signature(catalog):
+    a = parse_query(QUERIES[2], catalog)  # r ⋈ s with r.g = 2
+    b = parse_query(
+        "SELECT r.v, s.w FROM r, s WHERE r.id = s.rid AND r.g = 0 ORDER BY r.v LIMIT 2",
+        catalog)
+    c = parse_query(QUERIES[3], catalog)  # s ⋈ t: different graph
+    assert join_graph_signature(a) == join_graph_signature(b)
+    assert join_graph_signature(a) != join_graph_signature(c)
+
+
+def test_warm_start_reduces_repeated_template_work(catalog):
+    warm_config = FAST.with_overrides(serving_warm_start=True)
+    template = ("SELECT COUNT(*) AS n FROM r, s, t "
+                "WHERE r.id = s.rid AND s.w = t.sid AND r.v > {threshold}")
+    thresholds = [0, 5, 10, 15, 20]
+
+    def total_work(config):
+        server = QueryServer(catalog, config=config)
+        work = 0
+        for threshold in thresholds:
+            result = server.result(server.submit(template.format(threshold=threshold)))
+            work += result.metrics.work.total
+        return work
+
+    cold = total_work(FAST)
+    warm = total_work(warm_config)
+    assert warm < cold  # priors skip the cold-start exploration phase
+
+    # Warm-started execution still returns correct results.
+    server = QueryServer(catalog, config=warm_config)
+    first = server.result(server.submit(template.format(threshold=7)))
+    second = server.result(server.submit(template.format(threshold=9),
+                                         use_result_cache=False))
+    solo = solo_result(catalog, template.format(threshold=9), "skinner-c")
+    assert_tables_identical(solo.table, second.table)
+    assert first.rows[0]["n"] >= second.rows[0]["n"]
+
+
+def test_invalidate_caches_drops_results_and_priors(catalog):
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_warm_start=True))
+    server.result(server.submit(QUERIES[0]))
+    assert len(server.result_cache) == 1
+    assert len(server.order_cache) == 1
+    server.invalidate_caches()
+    assert len(server.result_cache) == 0
+    assert len(server.order_cache) == 0
+
+
+# ----------------------------------------------------------------------
+# failure isolation: one bad query must not wedge the server
+# ----------------------------------------------------------------------
+def _udfs_with_boom():
+    from repro.query.udf import UdfRegistry
+
+    udfs = UdfRegistry()
+    udfs.register("boom", lambda value: 1 // 0)
+    return udfs
+
+
+def test_failure_during_preprocessing_releases_admission_slot(catalog):
+    server = QueryServer(catalog, _udfs_with_boom(),
+                         config=FAST.with_overrides(serving_max_inflight=1))
+    bad = server.submit("SELECT COUNT(*) AS n FROM r WHERE boom(r.v)")
+    assert server.poll(bad)["state"] == "failed"
+    assert server.cancel(bad) is False  # terminal state
+    with pytest.raises(ZeroDivisionError):
+        server.result(bad)
+    # The slot was not leaked: later submissions are admitted and served.
+    good = server.submit(QUERIES[4], use_result_cache=False)
+    assert server.result(good).rows[0]["n"] >= 0
+
+
+def test_failure_during_finalize_does_not_wedge_other_queries(catalog):
+    server = QueryServer(catalog, _udfs_with_boom(), config=FAST)
+    bad = server.submit("SELECT boom(r.v) AS b FROM r, s WHERE r.id = s.rid")
+    good = server.submit(QUERIES[0], use_result_cache=False)
+    server.drain()  # must terminate despite the failing finalize
+    assert server.poll(bad)["state"] == "failed"
+    with pytest.raises(ZeroDivisionError):
+        server.result(bad)
+    assert_tables_identical(solo_result(catalog, QUERIES[0], "skinner-c").table,
+                            server.result(good).table)
+
+
+# ----------------------------------------------------------------------
+# submission validation
+# ----------------------------------------------------------------------
+def test_submit_rejects_bad_requests(catalog):
+    server = QueryServer(catalog, config=FAST)
+    with pytest.raises(ReproError):
+        server.submit(QUERIES[0], engine="sqlite")
+    with pytest.raises(ReproError):
+        server.submit(QUERIES[0], weight=0.0)
+    with pytest.raises(ReproError):
+        server.submit(QUERIES[0], engine="skinner-c", forced_order=("r", "s"))
+    with pytest.raises(ReproError):
+        server.poll(999)
