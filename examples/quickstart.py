@@ -1,93 +1,123 @@
-"""Quickstart: create tables, run SQL, compare engines, serve concurrently.
+"""Quickstart: the PEP 249 API — connections, cursors, streaming, engines.
 
-``db.execute`` routes through the serving layer (:class:`repro.QueryServer`)
-by default, so every query gets admission control, result caching, and
-cross-query join-order warm-starting for free; the server's ``submit`` /
-``poll`` / ``result`` API serves many queries concurrently by interleaving
-their budgeted execution episodes.  Run with::
+``repro.connect()`` opens a DB-API 2.0 style connection: schema management
+with transactions, cursors with parameter binding (``?`` / ``:name``), and
+**streaming fetches** — on a streamable engine/query combination,
+``fetchmany`` returns first rows while the query is still executing,
+because SkinnerDB materializes results incrementally across its learning
+episodes.  Every cursor execution is served by the multi-tenant
+:class:`repro.QueryServer` (admission control, fair-share scheduling,
+result/join-order caches), and engines resolve through a pluggable
+registry that third-party code can extend.  Run with::
 
     python examples/quickstart.py
 """
 
-from repro import SkinnerDB
+from repro import SkinnerDB, connect, register_engine
 
 
 def main() -> None:
-    db = SkinnerDB()
+    conn = connect()
 
-    # A tiny movie-rental style schema.
-    db.create_table("films", {
+    # A tiny movie-rental style schema; commit makes it permanent
+    # (rollback() would undo schema changes since the last commit).
+    conn.create_table("films", {
         "fid": [1, 2, 3, 4, 5, 6],
         "title": ["heat", "alien", "brazil", "clue", "diva", "eden"],
         "year": [1995, 1979, 1985, 1985, 1981, 1996],
         "genre": ["crime", "scifi", "scifi", "comedy", "crime", "drama"],
     })
-    db.create_table("rentals", {
+    conn.create_table("rentals", {
         "rid": list(range(1, 11)),
         "fid": [1, 1, 2, 3, 3, 3, 4, 5, 6, 6],
         "price": [4, 3, 5, 2, 2, 3, 1, 4, 2, 2],
     })
-    db.create_table("customers", {
+    conn.create_table("customers", {
         "rid": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
         "segment": ["gold", "gold", "silver", "silver", "gold",
                     "bronze", "silver", "gold", "bronze", "gold"],
     })
+    conn.commit()
 
-    sql = (
+    # -- cursors: execute with bound parameters, fetch incrementally.
+    cursor = conn.cursor()
+    cursor.execute(
         "SELECT f.genre AS genre, COUNT(*) AS rentals, SUM(r.price) AS revenue "
         "FROM films f, rentals r, customers c "
-        "WHERE f.fid = r.fid AND r.rid = c.rid AND c.segment = 'gold' "
-        "GROUP BY f.genre ORDER BY f.genre"
+        "WHERE f.fid = r.fid AND r.rid = c.rid AND c.segment = ? "
+        "GROUP BY f.genre ORDER BY f.genre",
+        ("gold",),
     )
-
-    print("Query:")
-    print(f"  {sql}\n")
-
-    # Skinner-C learns the join order while executing the query.
-    learned = db.execute(sql, engine="skinner-c")
-    print("Skinner-C result:")
-    for row in learned.rows:
+    print("Gold-segment revenue by genre "
+          f"(columns: {[d[0] for d in cursor.description]}):")
+    for row in cursor:
         print(f"  {row}")
-    print(f"  metrics: {learned.metrics.describe()}\n")
 
-    # The traditional baseline picks one plan from statistics and runs it.
-    planned = db.execute(sql, engine="traditional", profile="postgres")
-    print("Traditional (Postgres profile) result:")
-    for row in planned.rows:
-        print(f"  {row}")
-    print(f"  metrics: {planned.metrics.describe()}\n")
+    # -- streaming: on a plain select-project-join, the first batch arrives
+    # strictly before the query completes (watch the session state).  A
+    # bigger self-joinable table makes the join run for many episodes.
+    import random
 
-    assert learned.rows == planned.rows
-    print("Both engines agree; Skinner learned join order:",
-          " -> ".join(learned.metrics.final_join_order))
+    rng = random.Random(7)
+    conn.create_table("events", {
+        "k": [rng.randrange(600) for _ in range(2000)],
+        "v": [rng.randrange(100) for _ in range(2000)],
+    })
+    conn.commit()
+    cursor.execute(
+        "SELECT e1.v AS left_v, e2.v AS right_v FROM events e1, events e2 "
+        "WHERE e1.k = e2.k AND e1.v < 10",
+        use_result_cache=False,
+    )
+    first = cursor.fetchmany(3)
+    status = conn.server.poll(cursor.ticket)
+    print(f"\nStreaming: first {len(first)} row(s) fetched while the query "
+          f"is {status['state']!r}: {first}")
+    rest = cursor.fetchall()
+    print(f"  ...then {len(rest)} more row(s); "
+          f"charges identical to a non-streamed run.")
 
-    # Repeating a request hits the serving-level result cache.
-    cached = db.execute(sql, engine="skinner-c")
-    assert cached.rows == learned.rows
-    print("\nSecond execution served from the result cache:",
-          cached.metrics.extra.get("result_cache") == "hit")
+    # -- engines are pluggable: anything in the registry is selectable,
+    # including engines registered by user code (see docs/api.md).
+    cursor.execute(
+        "SELECT COUNT(*) AS n FROM films f, rentals r WHERE f.fid = r.fid",
+        engine="traditional",
+    )
+    print(f"\nTraditional baseline agrees: COUNT(*) = {cursor.fetchone()[0]}")
+    print("Registered engines:", ", ".join(conn.registry.names()))
+    assert callable(register_engine)  # third-party entry point (docs/api.md)
 
-    # The server also accepts many queries at once: submissions are
-    # admission-controlled and their episodes interleaved fairly, so short
-    # queries are not stuck behind long ones.
+    # -- the classic facade remains: whole-result execution with metrics.
+    db = SkinnerDB()
+    db.create_table("films", {"fid": [1, 2], "year": [1990, 2001]})
+    result = db.execute("SELECT COUNT(*) AS n FROM films f WHERE f.year > ?",
+                        params=(1995,))
+    print(f"\nFacade result: {result.rows} — {result.metrics.describe()}")
+
+    # -- and the server's multi-query API serves many submissions at once:
+    # admission-controlled, episodes interleaved fairly, results cached.
     tickets = [
-        db.server.submit(
-            "SELECT f.title AS title, SUM(r.price) AS revenue FROM films f, rentals r "
-            f"WHERE f.fid = r.fid AND f.year >= {year} GROUP BY f.title ORDER BY f.title"
+        conn.server.submit(
+            "SELECT f.title AS title, SUM(r.price) AS revenue "
+            "FROM films f, rentals r "
+            f"WHERE f.fid = r.fid AND f.year >= {year} "
+            "GROUP BY f.title ORDER BY f.title"
         )
         for year in (1979, 1985, 1995)
     ]
-    db.server.drain()
+    conn.server.drain()
     print("\nConcurrently served submissions:")
     for ticket in tickets:
-        status = db.server.poll(ticket)
-        rows = db.server.result(ticket).rows
-        print(f"  ticket {ticket}: {status['state']} after {status['episodes']} episode(s), "
-              f"{len(rows)} row(s)")
-    stats = db.server.stats()
+        status = conn.server.poll(ticket)
+        rows = conn.server.result(ticket).rows
+        print(f"  ticket {ticket}: {status['state']} after "
+              f"{status['episodes']} episode(s), {len(rows)} row(s)")
+    stats = conn.server.stats()
     print(f"  server totals: {stats['completed']} completed, "
           f"{stats['work_total']} work units, "
           f"result cache hits={stats['result_cache']['hits']}")
+
+    conn.close()
 
 
 if __name__ == "__main__":

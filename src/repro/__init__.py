@@ -9,18 +9,39 @@ optimizer and adaptive baselines the paper compares against, the three
 Skinner execution strategies, the benchmark workloads, and a harness that
 regenerates every table and figure of the paper's evaluation.
 
-Quick start::
+Quick start (PEP 249 API, see ``docs/api.md``)::
+
+    from repro import connect
+
+    conn = connect()
+    conn.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
+    conn.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})
+    cur = conn.cursor()
+    cur.execute("SELECT r.x, s.y FROM r, s WHERE r.id = ?", (1,))
+    for row in cur:
+        print(row)
+
+The classic one-object facade remains available::
 
     from repro import SkinnerDB
 
     db = SkinnerDB()
     db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
-    db.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})
-    result = db.execute("SELECT r.x, s.y FROM r, s WHERE r.id = s.rid")
-    print(result.rows)
-    print(result.metrics.describe())
+    result = db.execute("SELECT COUNT(*) AS n FROM r")
+    print(result.rows, result.metrics.describe())
 """
 
+from repro.api import (
+    Connection,
+    Cursor,
+    EngineRegistry,
+    EngineSpec,
+    apilevel,
+    connect,
+    paramstyle,
+    register_engine,
+    threadsafety,
+)
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
 from repro.db import ENGINE_NAMES, SkinnerDB
 from repro.errors import (
@@ -38,13 +59,17 @@ from repro.result import QueryMetrics, QueryResult
 from repro.serving import QueryServer, SessionState
 from repro.storage.table import Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BudgetExceeded",
     "CatalogError",
+    "Connection",
+    "Cursor",
     "DEFAULT_CONFIG",
     "ENGINE_NAMES",
+    "EngineRegistry",
+    "EngineSpec",
     "ExecutionError",
     "ParseError",
     "PlanningError",
@@ -58,6 +83,11 @@ __all__ = [
     "SkinnerConfig",
     "SkinnerDB",
     "Table",
+    "apilevel",
+    "connect",
     "parse_query",
+    "paramstyle",
+    "register_engine",
+    "threadsafety",
     "__version__",
 ]

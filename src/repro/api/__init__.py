@@ -1,0 +1,54 @@
+"""``repro.api`` — the PEP 249-style public API of the repository.
+
+Three pieces:
+
+* :func:`connect` / :class:`Connection` / :class:`Cursor` — the DB-API 2.0
+  surface: session-scoped schema management with transactions over schema
+  mutations, parameterized ``execute(sql, params)``, and **streaming**
+  fetches (``fetchmany`` returns first rows before the query completes when
+  the engine supports it).
+* :class:`EngineRegistry` / :class:`EngineSpec` / :func:`register_engine` —
+  the pluggable engine registry every execution path resolves engine names
+  through; third-party engines register here and become usable from
+  cursors, ``SkinnerDB.execute``, and the serving layer alike.
+* module globals ``apilevel`` / ``threadsafety`` / ``paramstyle`` per
+  PEP 249.
+
+See ``docs/api.md`` for the full tour.
+"""
+
+from repro.api.connection import (
+    Connection,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from repro.api.cursor import Cursor
+from repro.api.registry import (
+    BUILTIN_SPECS,
+    DEFAULT_REGISTRY,
+    EngineContext,
+    EngineRegistry,
+    EngineSpec,
+    RegistryNames,
+    engine_names,
+    register_engine,
+)
+
+__all__ = [
+    "BUILTIN_SPECS",
+    "Connection",
+    "Cursor",
+    "DEFAULT_REGISTRY",
+    "EngineContext",
+    "EngineRegistry",
+    "EngineSpec",
+    "RegistryNames",
+    "apilevel",
+    "connect",
+    "engine_names",
+    "paramstyle",
+    "register_engine",
+    "threadsafety",
+]

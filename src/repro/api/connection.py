@@ -1,0 +1,359 @@
+"""PEP 249-style connections over the repro engines.
+
+:func:`connect` opens a :class:`Connection` — the session object owning a
+catalog, a UDF registry, the serving layer, and the engine registry the
+session resolves ``engine=`` names against.  Cursors created from it submit
+queries through the :class:`~repro.serving.server.QueryServer`, so every
+cursor execution gets admission control, fair-share scheduling, the serving
+caches, and — for streamable engine/query combinations — incremental result
+delivery (first rows before the query completes).
+
+Transactions cover *schema mutations*: ``create_table`` / ``add_table`` /
+``load_csv`` / ``drop_table`` / ``register_udf`` apply immediately (queries
+in the same session see them), and ``rollback()`` restores the catalog and
+UDF registry to their state at the last ``commit()``.  Query execution is
+read-only and unaffected by transaction boundaries.  Facade-style callers
+(:class:`repro.db.SkinnerDB`) open the connection with ``autocommit=True``,
+which turns every mutation into its own committed transaction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.api.cursor import Cursor
+from repro.api.registry import DEFAULT_REGISTRY, EngineContext, EngineRegistry
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.errors import ReproError
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.parser import parse_query
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.result import QueryResult
+from repro.storage.catalog import Catalog
+from repro.storage.loader import load_csv
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.serving.server import QueryServer
+
+#: PEP 249 module globals.
+apilevel = "2.0"
+#: Threads may share the module but not connections (the server is a
+#: cooperative single-threaded scheduler by design).
+threadsafety = 1
+#: Default parameter style; ``:name`` (``named``) is accepted as well.
+paramstyle = "qmark"
+
+
+def connect(
+    config: SkinnerConfig = DEFAULT_CONFIG,
+    *,
+    registry: EngineRegistry | None = None,
+    autocommit: bool = False,
+) -> Connection:
+    """Open a connection to a fresh in-memory database.
+
+    >>> import repro.api as db_api
+    >>> conn = db_api.connect()
+    >>> conn.create_table("r", {"id": [1, 2], "x": [10, 20]})  # doctest: +ELLIPSIS
+    Table(...)
+    >>> cur = conn.cursor()
+    >>> cur.execute("SELECT r.x FROM r WHERE r.id = ?", (2,))  # doctest: +ELLIPSIS
+    <repro.api.cursor.Cursor ...>
+    >>> cur.fetchall()
+    [(20,)]
+    """
+    return Connection(config, registry=registry, autocommit=autocommit)
+
+
+class Connection:
+    """A session: schema + UDFs + serving layer + engine registry.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.config.SkinnerConfig` for executions on this
+        connection (including the ``serving_*`` sizing knobs).
+    registry:
+        Engine registry for resolving ``engine=`` names; defaults to the
+        process-wide registry, so engines added via
+        :func:`repro.api.register_engine` are available on every connection.
+    autocommit:
+        When true, schema mutations commit immediately and ``rollback()``
+        is a no-op (the :class:`~repro.db.SkinnerDB` facade's mode).
+    """
+
+    def __init__(
+        self,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        registry: EngineRegistry | None = None,
+        autocommit: bool = False,
+    ) -> None:
+        self.catalog = Catalog()
+        self.udfs = UdfRegistry()
+        self.config = config
+        self.autocommit = autocommit
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._statistics: StatisticsCatalog | None = None
+        self._server: QueryServer | None = None
+        self._closed = False
+        self._txn_tables: dict[str, Table] | None = None
+        self._txn_udfs: dict[str, Any] | None = None
+        self._cursors: list[Cursor] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection: roll back pending schema changes, close cursors."""
+        if self._closed:
+            return
+        self.rollback()
+        for cursor in list(self._cursors):
+            cursor.close()
+        self._closed = True
+
+    def __enter__(self) -> Connection:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # PEP 249 context managers commit on success, roll back on error.
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("connection is closed")
+
+    # ------------------------------------------------------------------
+    # transactions over schema mutations
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        """Whether uncommitted schema mutations exist."""
+        return self._txn_tables is not None
+
+    def _before_mutation(self) -> None:
+        """Open an implicit transaction at the first mutation (PEP 249)."""
+        self._check_open()
+        if not self.autocommit and self._txn_tables is None:
+            self._txn_tables = self.catalog.snapshot()
+            self._txn_udfs = self.udfs.snapshot()
+
+    def commit(self) -> None:
+        """Make schema mutations since the last commit permanent."""
+        self._check_open()
+        self._txn_tables = None
+        self._txn_udfs = None
+
+    def rollback(self) -> None:
+        """Undo schema mutations since the last commit."""
+        if self._closed:
+            return
+        if self._txn_tables is not None:
+            self.catalog.restore(self._txn_tables)
+            assert self._txn_udfs is not None
+            self.udfs.restore(self._txn_udfs)
+            self._txn_tables = None
+            self._txn_udfs = None
+            self._invalidate()
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool = False
+    ) -> Table:
+        """Create a table from a column name to value-list mapping."""
+        self._before_mutation()
+        table = Table(name, columns)
+        self.catalog.add_table(table, replace=replace)
+        self._invalidate()
+        return table
+
+    def add_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register an existing :class:`Table`."""
+        self._before_mutation()
+        self.catalog.add_table(table, replace=replace)
+        self._invalidate()
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        self._before_mutation()
+        self.catalog.drop_table(name)
+        self._invalidate()
+
+    def load_csv(
+        self,
+        path: str | Path,
+        table_name: str | None = None,
+        *,
+        replace: bool = False,
+    ) -> Table:
+        """Load a CSV file into a new table (``replace=True`` to reload)."""
+        self._before_mutation()
+        table = load_csv(path, table_name)
+        self.catalog.add_table(table, replace=replace)
+        self._invalidate()
+        return table
+
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        cost: int = 1,
+        selectivity_hint: float = 0.33,
+        replace: bool = False,
+    ) -> None:
+        """Register a user-defined function callable from SQL."""
+        self._before_mutation()
+        self.udfs.register(
+            name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
+        )
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Schema or UDF change: drop statistics and serving caches."""
+        self._statistics = None
+        if self._server is not None:
+            self._server.invalidate_caches()
+
+    # ------------------------------------------------------------------
+    # statistics (used by the traditional baselines only)
+    # ------------------------------------------------------------------
+    def statistics(self, *, refresh: bool = False) -> StatisticsCatalog:
+        """Collect (or return cached) optimizer statistics."""
+        if self._statistics is None or refresh:
+            self._statistics = StatisticsCatalog.collect(self.catalog)
+        return self._statistics
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> QueryServer:
+        """The serving layer over this connection (created lazily)."""
+        if self._server is None:
+            from repro.serving.server import QueryServer
+
+            self._server = QueryServer(
+                self.catalog, self.udfs, self.config,
+                statistics_provider=self.statistics,
+                registry=self.registry,
+            )
+        return self._server
+
+    def cursor(self) -> Cursor:
+        """A new cursor over this connection (PEP 249)."""
+        self._check_open()
+        cursor = Cursor(self)
+        self._cursors.append(cursor)
+        return cursor
+
+    def parse(
+        self,
+        sql: str,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> Query:
+        """Parse SQL text (with optional bound parameters) into a query."""
+        return parse_query(sql, self.catalog, params)
+
+    def execute(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int = 1,
+        forced_order: Sequence[str] | None = None,
+        use_result_cache: bool = True,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Execute a query through the serving layer and return the result.
+
+        This is the whole-result convenience path (cursors stream); it
+        resolves the engine through the connection's registry and benefits
+        from the serving caches and the join-order warm start.
+        """
+        self._check_open()
+        parsed = self._resolve_query(query, params)
+        return self.server.execute(
+            parsed,
+            engine=engine,
+            profile=profile,
+            # Resolve against the connection's (reassignable) config, not
+            # the server's construction-time snapshot.
+            config=config or self.config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+        )
+
+    def execute_direct(
+        self,
+        query: str | Query,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+        config: SkinnerConfig | None = None,
+        threads: int = 1,
+        forced_order: Sequence[str] | None = None,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Execute on a directly constructed engine (no serving layer).
+
+        The pre-serving code path, kept for A/B comparisons and callers
+        that want to bypass admission control and the caches; engines are
+        resolved through the same registry as :meth:`execute`, so both
+        paths reject an unknown engine with the identical error.
+        """
+        self._check_open()
+        parsed = self._resolve_query(query, params)
+        spec = self.registry.resolve(engine)
+        context = EngineContext(
+            self.catalog,
+            self.udfs,
+            config or self.config,
+            profile=profile,
+            threads=threads,
+            statistics_provider=self.statistics,
+        )
+        return spec.execute(context, parsed, forced_order=forced_order)
+
+    def _resolve_query(
+        self,
+        query: str | Query,
+        params: Sequence[Any] | Mapping[str, Any] | None,
+    ) -> Query:
+        """Parse SQL text with bound params; pass prebuilt queries through.
+
+        Parameters alongside a prebuilt :class:`Query` are rejected (the
+        query's literal values are already baked in) — silently ignoring
+        them would drop the caller's bindings without a trace.
+        """
+        if isinstance(query, str):
+            return self.parse(query, params)
+        if params:
+            raise ReproError(
+                "parameters require SQL text; a prebuilt Query has its "
+                "values baked in"
+            )
+        return query
+
+    def _forget_cursor(self, cursor: Cursor) -> None:
+        if cursor in self._cursors:
+            self._cursors.remove(cursor)

@@ -1,0 +1,259 @@
+"""PEP 249-style cursors with streaming result fetches.
+
+A :class:`Cursor` submits its query through the connection's
+:class:`~repro.serving.server.QueryServer` with incremental delivery
+enabled, so ``fetchone`` / ``fetchmany`` hand rows to the client as the
+engine materializes them — for a streamable engine/query combination the
+first batch arrives strictly before the query completes (the whole point of
+an engine that adapts *during* execution).  Queries with blocking
+post-processing (aggregates, GROUP BY, ORDER BY, DISTINCT, LIMIT) deliver
+all rows at completion through the same interface.
+
+Fetch calls cooperatively drive the server, so several open cursors on one
+connection interleave their queries' episodes: fetching from one cursor
+advances the others' queries too, exactly like any other submission sharing
+the scheduler.
+
+Closing a cursor mid-stream cancels its submission (at the next episode
+boundary) and releases its admission slot — abandoning a half-fetched
+result cannot starve later queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.config import SkinnerConfig
+from repro.errors import ReproError
+from repro.result import QueryResult
+from repro.serving.session import SessionState
+
+if TYPE_CHECKING:
+    from repro.api.connection import Connection
+
+#: ``description`` type codes are not modelled; every column reports None.
+_DESCRIPTION_PAD = (None, None, None, None, None, None)
+
+
+class Cursor:
+    """A PEP 249 cursor over one connection.
+
+    Attributes
+    ----------
+    arraysize:
+        Default row count of :meth:`fetchmany` (PEP 249; default 1).
+    engine, profile:
+        Execution knobs applied to subsequent :meth:`execute` calls; both
+        can also be overridden per call.
+    """
+
+    def __init__(
+        self,
+        connection: Connection,
+        *,
+        engine: str = "skinner-c",
+        profile: str = "postgres",
+    ) -> None:
+        self.connection = connection
+        self.arraysize = 1
+        self.engine = engine
+        self.profile = profile
+        self._ticket: int | None = None
+        self._description: list[tuple] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # PEP 249 attributes
+    # ------------------------------------------------------------------
+    @property
+    def description(self) -> list[tuple] | None:
+        """Per-column 7-tuples ``(name, type_code, ...)`` of the last query."""
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        """Rows produced by the last query, or -1 while still unknown."""
+        if self._ticket is None:
+            return -1
+        session = self.connection.server.session(self._ticket)
+        if session.state is SessionState.FINISHED and session.result is not None:
+            return session.result.table.num_rows
+        return -1
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    @property
+    def ticket(self) -> int | None:
+        """Server ticket of the current submission (for ``server.poll`` etc.)."""
+        return self._ticket
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None = None,
+        *,
+        engine: str | None = None,
+        profile: str | None = None,
+        config: SkinnerConfig | None = None,
+        threads: int = 1,
+        forced_order: Sequence[str] | None = None,
+        use_result_cache: bool = True,
+        weight: float = 1.0,
+        priority: int = 0,
+    ) -> Cursor:
+        """Submit a query for (streaming) execution; returns the cursor.
+
+        ``operation`` is SQL text with optional ``?`` / ``:name``
+        placeholders bound from ``parameters``, or a prebuilt
+        :class:`~repro.query.query.Query`.  The call returns as soon as the
+        query is admitted or queued — rows are produced by the fetch
+        methods, which drive the scheduler cooperatively.
+        """
+        self._check_fetchable(needs_query=False)
+        self._abandon()
+        connection = self.connection
+        parsed = connection._resolve_query(operation, parameters)
+        server = connection.server
+        self._ticket = server.submit(
+            parsed,
+            engine=engine or self.engine,
+            profile=profile or self.profile,
+            config=config or connection.config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+            weight=weight,
+            priority=priority,
+            stream=True,
+        )
+        names = parsed.output_names(connection.catalog)
+        self._description = [(name,) + _DESCRIPTION_PAD for name in names]
+        return self
+
+    def executemany(
+        self,
+        operation: str,
+        seq_of_parameters: Sequence[Sequence[Any] | Mapping[str, Any]],
+    ) -> Cursor:
+        """Run ``operation`` once per parameter set (result sets discarded)."""
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+            self.fetchall()
+        return self
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def fetchone(self) -> tuple[Any, ...] | None:
+        """The next result row, or ``None`` when the result is exhausted."""
+        rows = self._fetch(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, size: int | None = None) -> list[tuple[Any, ...]]:
+        """Up to ``size`` rows (default :attr:`arraysize`).
+
+        For a streaming query this returns as soon as *any* rows are
+        fetchable — possibly fewer than ``size`` — so the first batch
+        arrives before the query finishes; an empty list means the result
+        is exhausted.
+        """
+        return self._fetch(size if size is not None else self.arraysize)
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        """All remaining rows of the current result."""
+        rows: list[tuple[Any, ...]] = []
+        while True:
+            batch = self._fetch(None)
+            if not batch:
+                return rows
+            rows.extend(batch)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return self
+
+    def __next__(self) -> tuple[Any, ...]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    def _fetch(self, max_rows: int | None) -> list[tuple[Any, ...]]:
+        self._check_fetchable(needs_query=True)
+        assert self._ticket is not None
+        return self.connection.server.fetch(self._ticket, max_rows)
+
+    # ------------------------------------------------------------------
+    # results and metrics
+    # ------------------------------------------------------------------
+    def result(self) -> QueryResult:
+        """The full :class:`QueryResult` (drives the query to completion).
+
+        The result's rows are the *completion-ordered* materialization —
+        identical content to the streamed rows — and its metrics carry the
+        per-query meter charges, which streaming does not alter.
+        """
+        self._check_fetchable(needs_query=True)
+        assert self._ticket is not None
+        return self.connection.server.result(self._ticket)
+
+    @property
+    def metrics(self):
+        """Metrics of the completed query (drives it to completion)."""
+        return self.result().metrics
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the cursor, cancelling an unfinished submission.
+
+        Safe mid-stream: a running query is cancelled at its next episode
+        boundary and its admission slot is handed to the next queued
+        query — closing early never leaks serving capacity.
+        """
+        if self._closed:
+            return
+        self._abandon()
+        self._closed = True
+        self.connection._forget_cursor(self)
+
+    def _abandon(self) -> None:
+        """Drop the current submission (cancel if still in flight)."""
+        if self._ticket is None:
+            return
+        server = self.connection.server
+        try:
+            session = server.session(self._ticket)
+        except ReproError:
+            session = None  # already forgotten server-side
+        if session is not None:
+            if not session.done:
+                server.cancel(self._ticket)
+            server.forget(self._ticket)
+        self._ticket = None
+        self._description = None
+
+    def __enter__(self) -> Cursor:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_fetchable(self, *, needs_query: bool) -> None:
+        if self._closed:
+            raise ReproError("cursor is closed")
+        if self.connection.closed:
+            raise ReproError("connection is closed")
+        if needs_query and self._ticket is None:
+            raise ReproError("no query has been executed on this cursor")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"ticket={self._ticket}"
+        return f"<repro.api.cursor.Cursor {state}>"

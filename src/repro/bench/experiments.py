@@ -20,6 +20,7 @@ from repro.bench.experiments_figures import (
 from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
 from repro.bench.experiments_serving import concurrent_serving
+from repro.bench.experiments_streaming import streaming_cursor
 from repro.bench.experiments_tables import (
     table1,
     table2,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "concurrent_serving": concurrent_serving,
     "hashjoin_kernel": hashjoin_kernel,
     "postprocess_pipeline": postprocess_pipeline,
+    "streaming_cursor": streaming_cursor,
 }
 
 __all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

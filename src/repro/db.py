@@ -1,12 +1,34 @@
-"""The SkinnerDB facade: the public entry point of the library.
+"""The SkinnerDB facade: the classic convenience entry point of the library.
 
-A :class:`SkinnerDB` instance owns a catalog of tables and a registry of
-user-defined functions, and executes SQL (or programmatically constructed
-:class:`~repro.query.query.Query` objects) with any of the available engines:
+A :class:`SkinnerDB` is a thin compatibility facade over a PEP 249
+:class:`~repro.api.connection.Connection` (see :mod:`repro.api`): it owns a
+catalog of tables and a registry of user-defined functions, and executes SQL
+(or programmatically constructed :class:`~repro.query.query.Query` objects)
+with any engine registered in the
+:class:`~repro.api.registry.EngineRegistry`:
 
+>>> from repro.api import connect
+>>> conn = connect()
+>>> conn.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})  # doctest: +ELLIPSIS
+Table(...)
+>>> conn.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})  # doctest: +ELLIPSIS
+Table(...)
+>>> cur = conn.cursor()
+>>> cur.execute("SELECT r.x, s.y FROM r, s WHERE r.id = s.rid")  # doctest: +ELLIPSIS
+<repro.api.cursor.Cursor ...>
+>>> len(cur.fetchall())
+3
+
+The facade keeps the historical one-object surface on top of that
+connection (``db.execute(...)`` returning a whole
+:class:`~repro.result.QueryResult`), with schema mutations auto-committed:
+
+>>> from repro import SkinnerDB
 >>> db = SkinnerDB()
->>> db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
->>> db.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})
+>>> db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})  # doctest: +ELLIPSIS
+Table(...)
+>>> db.create_table("s", {"rid": [1, 1, 3], "y": [7, 8, 9]})  # doctest: +ELLIPSIS
+Table(...)
 >>> result = db.execute("SELECT r.x, s.y FROM r, s WHERE r.id = s.rid")
 >>> len(result)
 3
@@ -18,59 +40,73 @@ from collections.abc import Callable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
-from repro.baselines.eddy import EddyEngine
-from repro.baselines.reoptimizer import ReOptimizerEngine
-from repro.baselines.traditional import TraditionalEngine
+from repro.api.connection import Connection
+from repro.api.cursor import Cursor
+from repro.api.registry import DEFAULT_REGISTRY, RegistryNames
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
-from repro.errors import ReproError
 from repro.optimizer.statistics import StatisticsCatalog
-from repro.query.parser import parse_query
 from repro.query.query import Query
-from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
-from repro.serving.server import SERVABLE_ENGINES, QueryServer
-from repro.skinner.skinner_c import SkinnerC
-from repro.skinner.skinner_g import SkinnerG
-from repro.skinner.skinner_h import SkinnerH
-from repro.storage.catalog import Catalog
-from repro.storage.loader import load_csv
+from repro.serving.server import QueryServer
 from repro.storage.table import Table
 
-#: Engines selectable by name in :meth:`SkinnerDB.execute` (the serving
-#: layer's canonical list — the facade and the server accept the same set).
-ENGINE_NAMES = SERVABLE_ENGINES
+#: Engines selectable by name in :meth:`SkinnerDB.execute` — a live view of
+#: the default :class:`~repro.api.registry.EngineRegistry`, identical to the
+#: serving layer's ``SERVABLE_ENGINES`` view by construction.
+ENGINE_NAMES = RegistryNames(DEFAULT_REGISTRY)
 
 
 class SkinnerDB:
     """A small in-memory database with learned and traditional engines."""
 
     def __init__(self, config: SkinnerConfig = DEFAULT_CONFIG) -> None:
-        self.catalog = Catalog()
-        self.udfs = UdfRegistry()
-        self.config = config
-        self._statistics: StatisticsCatalog | None = None
-        self._server: QueryServer | None = None
+        # Schema mutations through the facade commit immediately; open a
+        # Connection directly for transactional schema work.
+        self._connection = Connection(config, autocommit=True)
+
+    # ------------------------------------------------------------------
+    # the underlying PEP 249 surface
+    # ------------------------------------------------------------------
+    @property
+    def connection(self) -> Connection:
+        """The PEP 249 connection this facade wraps."""
+        return self._connection
+
+    def cursor(self) -> Cursor:
+        """A PEP 249 cursor with streaming fetches (see :mod:`repro.api`)."""
+        return self._connection.cursor()
+
+    # ------------------------------------------------------------------
+    # delegated session state
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self):
+        """The table catalog backing this database."""
+        return self._connection.catalog
+
+    @property
+    def udfs(self):
+        """The registry of user-defined functions."""
+        return self._connection.udfs
+
+    @property
+    def config(self) -> SkinnerConfig:
+        """Default configuration for executions on this database."""
+        return self._connection.config
+
+    @config.setter
+    def config(self, config: SkinnerConfig) -> None:
+        self._connection.config = config
 
     @property
     def server(self) -> QueryServer:
         """The serving layer over this database (created lazily).
 
         Exposes the full multi-query API — ``submit`` / ``poll`` /
-        ``result`` / ``cancel`` / ``drain`` — plus the serving caches;
-        :meth:`execute` routes through its single-query path by default.
+        ``fetch`` / ``result`` / ``cancel`` / ``drain`` — plus the serving
+        caches; :meth:`execute` routes through its single-query path.
         """
-        if self._server is None:
-            self._server = QueryServer(
-                self.catalog, self.udfs, self.config,
-                statistics_provider=self.statistics,
-            )
-        return self._server
-
-    def _invalidate(self) -> None:
-        """Schema or UDF change: drop statistics and serving caches."""
-        self._statistics = None
-        if self._server is not None:
-            self._server.invalidate_caches()
+        return self._connection.server
 
     # ------------------------------------------------------------------
     # schema management
@@ -79,22 +115,25 @@ class SkinnerDB:
         self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool = False
     ) -> Table:
         """Create a table from column name to value-list mapping."""
-        table = Table(name, columns)
-        self.catalog.add_table(table, replace=replace)
-        self._invalidate()
-        return table
+        return self._connection.create_table(name, columns, replace=replace)
 
     def add_table(self, table: Table, *, replace: bool = False) -> None:
         """Register an existing :class:`Table`."""
-        self.catalog.add_table(table, replace=replace)
-        self._invalidate()
+        self._connection.add_table(table, replace=replace)
 
-    def load_csv(self, path: str | Path, table_name: str | None = None) -> Table:
-        """Load a CSV file into a new table."""
-        table = load_csv(path, table_name)
-        self.catalog.add_table(table)
-        self._invalidate()
-        return table
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        self._connection.drop_table(name)
+
+    def load_csv(
+        self,
+        path: str | Path,
+        table_name: str | None = None,
+        *,
+        replace: bool = False,
+    ) -> Table:
+        """Load a CSV file into a new table (``replace=True`` to reload)."""
+        return self._connection.load_csv(path, table_name, replace=replace)
 
     def register_udf(
         self,
@@ -106,26 +145,23 @@ class SkinnerDB:
         replace: bool = False,
     ) -> None:
         """Register a user-defined function callable from SQL."""
-        self.udfs.register(
+        self._connection.register_udf(
             name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
         )
-        self._invalidate()
 
     # ------------------------------------------------------------------
     # statistics (used by the traditional baselines only)
     # ------------------------------------------------------------------
     def statistics(self, *, refresh: bool = False) -> StatisticsCatalog:
         """Collect (or return cached) optimizer statistics."""
-        if self._statistics is None or refresh:
-            self._statistics = StatisticsCatalog.collect(self.catalog)
-        return self._statistics
+        return self._connection.statistics(refresh=refresh)
 
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
-    def parse(self, sql: str) -> Query:
-        """Parse SQL text into a query object."""
-        return parse_query(sql, self.catalog)
+    def parse(self, sql: str, params: Sequence[Any] | Mapping[str, Any] | None = None) -> Query:
+        """Parse SQL text (with optional bound parameters) into a query object."""
+        return self._connection.parse(sql, params)
 
     def execute(
         self,
@@ -137,6 +173,7 @@ class SkinnerDB:
         threads: int = 1,
         forced_order: Sequence[str] | None = None,
         use_result_cache: bool = True,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
     ) -> QueryResult:
         """Execute a query through the serving layer (the default entry point).
 
@@ -151,7 +188,8 @@ class SkinnerDB:
         query:
             SQL text or a :class:`Query`.
         engine:
-            One of :data:`ENGINE_NAMES`.
+            Any engine registered in the default registry (see
+            :data:`ENGINE_NAMES` and :func:`repro.api.register_engine`).
         profile:
             Engine profile for the traditional engine and for the generic
             engine underneath Skinner-G/H (``postgres``, ``monetdb``, ...).
@@ -160,23 +198,25 @@ class SkinnerDB:
         threads:
             Number of threads modelled when converting work to time.
         forced_order:
-            Only valid for ``engine="traditional"``: execute this join order
-            instead of the optimizer's choice.
+            Only valid for engines whose registry spec declares
+            ``supports_forced_order`` (the traditional baseline): execute
+            this join order instead of the optimizer's choice.
         use_result_cache:
             Whether a cached result for an identical earlier request may be
             returned (cache hits are flagged in ``metrics.extra``).
+        params:
+            Parameter values bound to ``?`` / ``:name`` placeholders when
+            ``query`` is SQL text.
         """
-        return self.server.execute(
+        return self._connection.execute(
             query,
             engine=engine,
             profile=profile,
-            # Resolve against the facade's (reassignable) config, not the
-            # server's construction-time snapshot, so execute() and
-            # execute_direct() keep honoring db.config identically.
-            config=config or self.config,
+            config=config,
             threads=threads,
             forced_order=forced_order,
             use_result_cache=use_result_cache,
+            params=params,
         )
 
     def execute_direct(
@@ -188,37 +228,23 @@ class SkinnerDB:
         config: SkinnerConfig | None = None,
         threads: int = 1,
         forced_order: Sequence[str] | None = None,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
     ) -> QueryResult:
         """Execute a query on a directly constructed engine (no serving layer).
 
         This is the pre-serving code path, kept for A/B comparisons and for
         callers that want to bypass admission control and the caches; it
         accepts the same arguments as :meth:`execute` (minus the cache
-        knob) and produces identical results.
+        knob) and produces identical results.  Engine names resolve through
+        the same registry as :meth:`execute`, so both paths reject unknown
+        engines with the identical error.
         """
-        parsed = self.parse(query) if isinstance(query, str) else query
-        config = config or self.config
-        engine = engine.lower()
-        if engine == "skinner-c":
-            return SkinnerC(self.catalog, self.udfs, config, threads=threads).execute(parsed)
-        if engine == "skinner-g":
-            runner = SkinnerG(self.catalog, self.udfs, config,
-                              dbms_profile=profile, threads=threads)
-            return runner.execute(parsed)
-        if engine == "skinner-h":
-            runner = SkinnerH(self.catalog, self.udfs, config, dbms_profile=profile,
-                              statistics=self.statistics(), threads=threads)
-            return runner.execute(parsed)
-        if engine == "traditional":
-            runner = TraditionalEngine(self.catalog, self.udfs, statistics=self.statistics(),
-                                       profile=profile, threads=threads)
-            return runner.execute(parsed, forced_order=forced_order)
-        if engine == "eddy":
-            return EddyEngine(self.catalog, self.udfs, threads=threads).execute(parsed)
-        if engine == "reoptimizer":
-            runner = ReOptimizerEngine(self.catalog, self.udfs,
-                                       statistics=self.statistics(), threads=threads)
-            return runner.execute(parsed)
-        raise ReproError(
-            f"unknown engine {engine!r}; available engines: {', '.join(ENGINE_NAMES)}"
+        return self._connection.execute_direct(
+            query,
+            engine=engine,
+            profile=profile,
+            config=config,
+            threads=threads,
+            forced_order=forced_order,
+            params=params,
         )

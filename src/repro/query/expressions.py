@@ -83,8 +83,15 @@ class Literal(Expression):
         return self.value
 
     def display(self) -> str:
+        # Embedded quotes are doubled (the SQL escape the tokenizer
+        # understands), so the rendering is unambiguous: a bound string
+        # containing quote/SQL text can never render identically to a
+        # structurally different query.  The serving-layer result cache
+        # fingerprints queries through this rendering, so ambiguity here
+        # would mean silently serving another query's cached rows.
         if isinstance(self.value, str):
-            return f"'{self.value}'"
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
         return str(self.value)
 
 

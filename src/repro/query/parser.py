@@ -16,11 +16,26 @@ Supported grammar (case-insensitive keywords)::
 ``BETWEEN`` is rewritten into two comparison conjuncts.  Unqualified column
 names are resolved against the FROM clause when a catalog is supplied (or
 when only one table is referenced).
+
+**Parameter binding** (PEP 249): anywhere the grammar accepts an expression,
+``?`` consumes the next value of a positional parameter sequence (paramstyle
+``qmark``) and ``:name`` looks up a key of a parameter mapping (paramstyle
+``named``).  Bound values become literals during parsing — they are never
+interpolated into the SQL text, so quoting and injection concerns do not
+arise::
+
+    parse_query("SELECT r.x FROM r WHERE r.id = ?", catalog, params=(3,))
+    parse_query("SELECT r.x FROM r WHERE r.id = :rid", catalog,
+                params={"rid": 3})
+
+The two styles cannot be mixed in one statement, and a positional parameter
+sequence must match the placeholder count exactly.
 """
 
 from __future__ import annotations
 
 import re
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -40,6 +55,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<number>\d+\.\d+|\d+)
   | (?P<string>'(?:[^']|'')*')
+  | (?P<param>\?|:[A-Za-z_][A-Za-z_0-9]*)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<op><=|>=|<>|!=|=|<|>)
   | (?P<punct>[(),.*])
@@ -93,12 +109,66 @@ def _tokenize(sql: str) -> list[_Token]:
 class _Parser:
     """Stateful cursor over the token stream."""
 
-    def __init__(self, sql: str, catalog: Any = None) -> None:
+    def __init__(
+        self,
+        sql: str,
+        catalog: Any = None,
+        params: Sequence[Any] | Mapping[str, Any] | None = None,
+    ) -> None:
         self._sql = sql
         self._tokens = _tokenize(sql)
         self._index = 0
         self._catalog = catalog
         self._tables: list[tuple[str, str]] = []
+        self._params = params
+        self._positional_cursor = 0
+        self._validate_params()
+
+    def _validate_params(self) -> None:
+        """Cross-check placeholders against the supplied parameters."""
+        placeholders = [token for token in self._tokens if token.kind == "param"]
+        positional = [token for token in placeholders if token.text == "?"]
+        named = {token.text[1:] for token in placeholders if token.text != "?"}
+        params = self._params
+        if positional and named:
+            raise ParseError(
+                "cannot mix '?' and ':name' parameter styles in one statement",
+                placeholders[0].position,
+            )
+        if not placeholders:
+            if params:
+                raise ParseError("query has no parameter placeholders")
+            return
+        if params is None:
+            raise ParseError(
+                "query contains parameter placeholders but no parameters were given",
+                placeholders[0].position,
+            )
+        if positional:
+            if isinstance(params, (str, bytes, Mapping)) or not isinstance(
+                params, Sequence
+            ):
+                raise ParseError("positional '?' placeholders need a parameter sequence")
+            if len(params) != len(positional):
+                raise ParseError(
+                    f"query uses {len(positional)} positional parameter(s) "
+                    f"but {len(params)} were supplied"
+                )
+            return
+        if not isinstance(params, Mapping):
+            raise ParseError("named ':name' placeholders need a parameter mapping")
+        missing = sorted(named - set(params))
+        if missing:
+            raise ParseError(f"missing named parameter(s): {', '.join(missing)}")
+
+    def _bind_parameter(self, token: _Token) -> Any:
+        """The value a placeholder token binds to (validated upfront)."""
+        assert self._params is not None
+        if token.text == "?":
+            value = self._params[self._positional_cursor]
+            self._positional_cursor += 1
+            return value
+        return self._params[token.text[1:]]
 
     # ------------------------------------------------------------------
     # token helpers
@@ -313,6 +383,8 @@ class _Parser:
 
     def _parse_expression(self) -> Expression:
         token = self._next()
+        if token.kind == "param":
+            return Literal(self._bind_parameter(token))
         if token.kind == "number":
             value: Any = float(token.text) if "." in token.text else int(token.text)
             return Literal(value)
@@ -356,7 +428,11 @@ class _Parser:
         )
 
 
-def parse_query(sql: str, catalog: Any = None) -> Query:
+def parse_query(
+    sql: str,
+    catalog: Any = None,
+    params: Sequence[Any] | Mapping[str, Any] | None = None,
+) -> Query:
     """Parse SQL text into a :class:`~repro.query.query.Query`.
 
     Parameters
@@ -366,5 +442,10 @@ def parse_query(sql: str, catalog: Any = None) -> Query:
     catalog:
         Optional :class:`~repro.storage.catalog.Catalog` used to resolve
         unqualified column names when several tables are joined.
+    params:
+        Values bound to the statement's parameter placeholders: a sequence
+        for ``?`` placeholders, a mapping for ``:name`` placeholders (see
+        the module docstring).  Required exactly when the statement contains
+        placeholders.
     """
-    return _Parser(sql, catalog).parse()
+    return _Parser(sql, catalog, params).parse()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import PlanningError
 from repro.query.expressions import ColumnRef, Expression
@@ -184,6 +185,25 @@ class Query:
     def has_post_processing(self) -> bool:
         """Whether grouping, aggregation, ordering, or a limit applies."""
         return bool(self.group_by or self.order_by or self.has_aggregates or self.limit)
+
+    def output_names(self, catalog: Any = None) -> list[str]:
+        """Result-column names, computable *before* execution.
+
+        Powers cursor ``description`` and stream-buffer schemas: an explicit
+        select list names its items via :meth:`SelectItem.output_name`;
+        ``SELECT *`` expands to ``alias_column`` per table, which needs a
+        catalog to look the columns up (without one, the expansion of ``*``
+        is unknown and an empty list is returned).
+        """
+        if self.select_items:
+            return [item.output_name(i) for i, item in enumerate(self.select_items)]
+        names: list[str] = []
+        for alias, table_name in self.tables:
+            if catalog is None or not catalog.has_table(table_name):
+                return []
+            for column in catalog.table(table_name).column_names:
+                names.append(f"{alias}_{column}")
+        return names
 
     def output_columns(self) -> list[ColumnRef]:
         """Column references needed to materialize the select list."""

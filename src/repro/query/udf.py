@@ -86,3 +86,14 @@ class UdfRegistry:
 
     def __len__(self) -> int:
         return len(self._udfs)
+
+    # ------------------------------------------------------------------
+    # snapshots (schema transactions)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, UdfDefinition]:
+        """A restorable snapshot (definitions are frozen, copy is shallow)."""
+        return dict(self._udfs)
+
+    def restore(self, snapshot: dict[str, UdfDefinition]) -> None:
+        """Reset the registry to a previously taken :meth:`snapshot`."""
+        self._udfs = dict(snapshot)

@@ -26,6 +26,8 @@ from repro.serving.session import (
     MonolithicTask,
     QuerySession,
     SessionState,
+    StreamBuffer,
+    StreamingTask,
 )
 
 __all__ = [
@@ -39,6 +41,8 @@ __all__ = [
     "QuerySession",
     "ResultCache",
     "SessionState",
+    "StreamBuffer",
+    "StreamingTask",
     "join_graph_signature",
     "query_fingerprint",
 ]

@@ -29,8 +29,16 @@ from collections.abc import Callable, Sequence
 from dataclasses import replace
 from typing import Any
 
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    EngineContext,
+    EngineRegistry,
+    RegistryNames,
+)
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
-from repro.engine.meter import WorkLedger
+from repro.engine.meter import CostMeter, WorkLedger
+from repro.engine.postprocess import post_process
+from repro.engine.relation import RowIdRelation
 from repro.errors import ReproError
 from repro.optimizer.statistics import StatisticsCatalog
 from repro.query.parser import parse_query
@@ -46,23 +54,35 @@ from repro.serving.cache import (
     query_fingerprint,
 )
 from repro.serving.scheduler import FairScheduler
-from repro.serving.session import QuerySession, SessionState, create_task
-from repro.skinner.skinner_c import SkinnerCTask
+from repro.serving.session import QuerySession, SessionState, StreamBuffer
 from repro.storage.catalog import Catalog
+from repro.storage.table import Table
 
-#: Engines the server can schedule (the Skinner engines episode-sliced, the
-#: baselines as single monolithic episodes).
-SERVABLE_ENGINES = (
-    "skinner-c",
-    "skinner-g",
-    "skinner-h",
-    "traditional",
-    "eddy",
-    "reoptimizer",
-)
+#: Engines the server can schedule — a live view of the default
+#: :class:`~repro.api.registry.EngineRegistry`, so engines added through
+#: ``register_engine()`` become servable without touching this module.
+SERVABLE_ENGINES = RegistryNames(DEFAULT_REGISTRY)
 
 #: How many learned join orders one finished query contributes to the prior.
 _PRIOR_ORDERS = 3
+
+
+def _stream_eligible(query: Query) -> bool:
+    """Whether a query's rows can be delivered before the join completes.
+
+    Aggregation, GROUP BY, ORDER BY, DISTINCT, and LIMIT are *blocking*:
+    their output depends on the complete join result, so those queries
+    deliver at completion.  Plain select-project-join output rows map 1:1
+    onto result tuples and stream as the tuples materialize (the result
+    set's duplicate elimination guarantees each row is delivered once).
+    """
+    return not (
+        query.has_aggregates
+        or query.group_by
+        or query.order_by
+        or query.distinct
+        or query.limit is not None
+    )
 
 
 class QueryServer:
@@ -86,6 +106,9 @@ class QueryServer:
     threads:
         Default modelled thread count for submissions that do not override
         it.
+    registry:
+        Engine registry resolving ``engine=`` names; defaults to the
+        process-wide :data:`~repro.api.registry.DEFAULT_REGISTRY`.
     """
 
     def __init__(
@@ -96,11 +119,13 @@ class QueryServer:
         *,
         statistics_provider: Callable[[], StatisticsCatalog] | None = None,
         threads: int = 1,
+        registry: EngineRegistry | None = None,
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
         self._config = config
         self._threads = threads
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._statistics_provider = statistics_provider
         self._statistics: StatisticsCatalog | None = None
         self._scheduler = FairScheduler()
@@ -127,6 +152,7 @@ class QueryServer:
         weight: float = 1.0,
         priority: int = 0,
         use_result_cache: bool = True,
+        stream: bool = False,
     ) -> int:
         """Submit a query for execution; returns its ticket.
 
@@ -134,18 +160,17 @@ class QueryServer:
         roughly twice the work rate of 1.0); ``priority`` selects the strict
         priority class (higher runs first).  ``use_result_cache=False``
         skips the cache *lookup* for this submission (the finished result is
-        still stored for later submissions).
+        still stored for later submissions).  ``stream=True`` buffers result
+        rows for incremental delivery through :meth:`fetch`: when the engine
+        and query shape allow it, completed batches become fetchable while
+        the query is still executing; otherwise all rows become fetchable at
+        completion.
         """
         engine = engine.lower()
-        if engine not in SERVABLE_ENGINES:
-            raise ReproError(
-                f"unknown engine {engine!r}; servable engines: "
-                f"{', '.join(SERVABLE_ENGINES)}"
-            )
+        spec = self._registry.resolve(engine)
+        spec.check_forced_order(forced_order)
         if weight <= 0:
             raise ReproError("weight must be positive")
-        if forced_order is not None and engine != "traditional":
-            raise ReproError("forced_order is only supported for engine='traditional'")
         parsed = parse_query(query, self._catalog) if isinstance(query, str) else query
         config = config or self._config
         threads = threads if threads is not None else self._threads
@@ -164,6 +189,7 @@ class QueryServer:
             weight=weight,
             priority=priority,
             fingerprint=fingerprint,
+            stream_requested=stream,
         )
         self._sessions[session.ticket] = session
         if use_result_cache:
@@ -174,6 +200,8 @@ class QueryServer:
                 session.cache_hit = True
                 session.completed_at_work = self.ledger.grand_total()
                 self._completed += 1
+                if stream:
+                    self._deliver_result_rows(session, session.result)
                 return session.ticket
         if self._admission.offer(session):
             self._activate(session)
@@ -182,7 +210,7 @@ class QueryServer:
     def poll(self, ticket: int) -> dict[str, Any]:
         """Progress snapshot of a submission (non-blocking)."""
         session = self._session(ticket)
-        return {
+        snapshot = {
             "ticket": ticket,
             "state": session.state.value,
             "engine": session.engine,
@@ -191,6 +219,55 @@ class QueryServer:
             "queue_position": self._admission.queue_position(session),
             "cache_hit": session.cache_hit,
         }
+        if session.stream is not None:
+            snapshot["stream"] = {
+                "names": session.stream.names,
+                "fetchable_rows": len(session.stream),
+                "rows_streamed": session.stream.rows_streamed,
+                "first_rows_at_work": session.stream.first_rows_at_work,
+            }
+        return snapshot
+
+    def fetch(
+        self, ticket: int, max_rows: int | None = None, *, drive: bool = True
+    ) -> list[tuple[Any, ...]]:
+        """Fetch up to ``max_rows`` result rows of a streaming submission.
+
+        This is the incremental-delivery path behind
+        :meth:`repro.api.cursor.Cursor.fetchmany`: the scheduler is driven
+        until the submission has fetchable rows (or finishes), then the
+        buffered rows are returned in their materialization order.  An
+        empty list therefore means the result is exhausted.  With
+        ``drive=False`` only already-buffered rows are returned.
+
+        Rows stream *before completion* when the engine's registry spec is
+        ``streamable`` and the query has no blocking post-processing
+        (aggregation, GROUP BY, ORDER BY, DISTINCT, LIMIT); otherwise the
+        buffer fills when the query completes.
+        """
+        session = self._session(ticket)
+        if not session.stream_requested:
+            raise ReproError(
+                f"query {ticket} was not submitted with stream=True"
+            )
+        # The buffer appears at activation; a session still queued behind
+        # admission control has none yet, so drive until it is admitted
+        # *and* has fetchable rows (or reaches a terminal state).
+        while (
+            drive
+            and not session.done
+            and (session.stream is None or not len(session.stream))
+        ):
+            if not self.step():
+                raise ReproError(f"query {ticket} cannot make progress")
+        if session.state is SessionState.CANCELLED:
+            raise ReproError(f"query {ticket} was cancelled")
+        if session.state is SessionState.FAILED:
+            assert session.error is not None
+            raise session.error
+        if session.stream is None:
+            return []  # drive=False before activation: nothing buffered yet
+        return session.stream.take(max_rows)
 
     def result(self, ticket: int, *, drive: bool = True) -> QueryResult:
         """The result of a submission, driving the scheduler until it is done.
@@ -252,6 +329,7 @@ class QueryServer:
                 if task.run_episode():
                     break
             self._account(session, session.work_total() - before)
+            self._pump_stream(session)
             if task.finished:
                 self._complete(session)
         except Exception as error:  # noqa: BLE001 - one bad query must not
@@ -363,9 +441,61 @@ class QueryServer:
             self._statistics = StatisticsCatalog.collect(self._catalog)
         return self._statistics
 
-    def _warm_start_priors(self, session: QuerySession) -> tuple[OrderPrior, ...]:
+    # ------------------------------------------------------------------
+    # streaming internals
+    # ------------------------------------------------------------------
+    def _setup_stream(self, session: QuerySession, spec: Any) -> None:
+        """Attach a stream buffer; go incremental when engine+query allow it."""
+        session.stream = StreamBuffer(session.query.output_names(self._catalog))
+        task = session.task
         if (
-            session.engine != "skinner-c"
+            spec.streamable
+            and _stream_eligible(session.query)
+            and hasattr(task, "enable_streaming")
+        ):
+            task.enable_streaming()
+            session.stream.incremental = True
+
+    def _pump_stream(self, session: QuerySession) -> None:
+        """Move tuples the last grant materialized into the stream buffer.
+
+        Projection runs against a throwaway meter: the authoritative
+        post-processing (and its charges) still happens in ``finalize()``,
+        so a streamed query's meter charges are byte-identical to the same
+        query executed without streaming.
+        """
+        buffer = session.stream
+        task = session.task
+        if buffer is None or not buffer.incremental or task is None:
+            return
+        fresh = task.drain_new_tuples()
+        if not fresh:
+            return
+        relation = RowIdRelation.from_index_tuples(task.stream_aliases, fresh)
+        table = post_process(
+            session.query, relation, task.stream_tables, self._udfs, CostMeter(),
+            mode=session.config.postprocess_mode,
+        )
+        buffer.push(self._table_rows(table), self.ledger.grand_total())
+
+    def _deliver_result_rows(self, session: QuerySession, result: QueryResult) -> None:
+        """Completion-time delivery: the final table becomes the buffer."""
+        if session.stream is None:
+            session.stream = StreamBuffer(result.table.column_names)
+        session.stream.names = tuple(result.table.column_names)
+        session.stream.push(self._table_rows(result.table), self.ledger.grand_total())
+
+    @staticmethod
+    def _table_rows(table: Table) -> list[tuple[Any, ...]]:
+        """A table's rows as plain tuples in column-declaration order."""
+        columns = [table.column(name).values() for name in table.column_names]
+        return list(zip(*columns))
+
+    def _warm_start_priors(
+        self, session: QuerySession, spec: Any
+    ) -> tuple[OrderPrior, ...]:
+        if (
+            not spec.warm_startable
             or not session.config.serving_warm_start
             or session.config.order_selection != "uct"
         ):
@@ -379,19 +509,33 @@ class QueryServer:
         )
 
     def _activate(self, session: QuerySession) -> None:
+        context = EngineContext(
+            self._catalog,
+            self._udfs,
+            session.config,
+            profile=session.profile,
+            threads=session.threads,
+            statistics_provider=self._statistics_for_engines,
+        )
         try:
-            session.task = create_task(
-                self._catalog,
-                self._udfs,
-                session,
-                self._statistics_for_engines,
-                order_prior=self._warm_start_priors(session),
+            # resolve() must stay inside the try: a queued session can be
+            # activated long after submission (admission promotion), by
+            # which time its engine may have been unregistered — that must
+            # fail *this* session, not whichever session's step() ran it.
+            spec = self._registry.resolve(session.engine)
+            session.task = spec.create_task(
+                context,
+                session.query,
+                forced_order=session.forced_order,
+                order_prior=self._warm_start_priors(session, spec),
             )
         except Exception as error:  # noqa: BLE001 - e.g. a UDF raising
             # during pre-processing: fail this session without leaking its
             # admission slot (the error surfaces on result(ticket)).
             self._fail(session, error)
             return
+        if session.stream_requested:
+            self._setup_stream(session, spec)
         session.state = SessionState.RUNNING
         self._scheduler.add(session)
         # Task construction pre-processes the query; attribute that work to
@@ -425,6 +569,10 @@ class QueryServer:
         session.state = SessionState.FINISHED
         session.completed_at_work = self.ledger.grand_total()
         self._completed += 1
+        if session.stream is not None and not session.stream.incremental:
+            # Non-streamable engine or query shape: the whole result becomes
+            # fetchable now (incremental sessions already streamed it all).
+            self._deliver_result_rows(session, session.result)
         self._scheduler.remove(session)
         if session.fingerprint is not None:
             self.result_cache.put_result(session.fingerprint, session.result)
@@ -436,7 +584,15 @@ class QueryServer:
 
     def _record_learned_orders(self, session: QuerySession) -> None:
         task = session.task
-        if not isinstance(task, SkinnerCTask) or not self.order_cache.enabled:
+        if task is None or not self.order_cache.enabled:
+            return
+        try:
+            spec = self._registry.resolve(session.engine)
+        except ReproError:  # engine unregistered while the query ran
+            return
+        # Any warm-startable engine whose task learns through a UCT tree
+        # contributes priors (Skinner-C and registry extensions alike).
+        if not spec.warm_startable or not hasattr(task, "tree"):
             return
         if session.config.order_selection != "uct":
             return

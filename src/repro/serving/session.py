@@ -8,28 +8,28 @@ tiny protocol — ``run_episode() -> bool``, ``finished``, ``work_total()``,
 :class:`~repro.skinner.skinner_g.SkinnerGTask`,
 :class:`~repro.skinner.skinner_h.SkinnerHTask`); the non-adaptive baselines
 run as a single monolithic episode so the server can serve every engine.
+Task construction is dispatched through the
+:class:`~repro.api.registry.EngineRegistry` (see ``EngineSpec.create_task``).
+
+Sessions submitted with ``stream=True`` additionally own a
+:class:`StreamBuffer`: the server projects result tuples into output rows as
+the episode tasks materialize them, so a cursor's ``fetchmany`` returns
+first rows strictly before the query completes.
 """
 
 from __future__ import annotations
 
 import enum
 import time
+from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
-from repro.baselines.eddy import EddyEngine
-from repro.baselines.reoptimizer import ReOptimizerEngine
-from repro.baselines.traditional import TraditionalEngine
 from repro.config import SkinnerConfig
 from repro.errors import ReproError
 from repro.query.query import Query
-from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
-from repro.skinner.skinner_c import SkinnerC
-from repro.skinner.skinner_g import SkinnerG
-from repro.skinner.skinner_h import SkinnerH
-from repro.storage.catalog import Catalog
 
 
 class EpisodeTask(Protocol):
@@ -45,6 +45,59 @@ class EpisodeTask(Protocol):
 
     def finalize(self) -> QueryResult:
         """Materialize the final result (only after ``finished``)."""
+
+
+class StreamingTask(EpisodeTask, Protocol):
+    """An episode task that can deliver result tuples before completion."""
+
+    def enable_streaming(self) -> None:
+        """Start journaling newly materialized result tuples."""
+
+    def drain_new_tuples(self) -> list[tuple[int, ...]]:
+        """Tuples materialized since the last drain, in discovery order."""
+
+
+class StreamBuffer:
+    """Rows materialized ahead of completion, queued for cursor fetches.
+
+    The server pushes projected row batches between episodes; a cursor
+    takes rows out in FIFO order.  ``first_rows_at_work`` records the
+    deterministic work-unit clock at the moment the first row became
+    fetchable — the streaming analogue of the session's
+    ``completed_at_work`` — which is how the benchmark measures
+    time-to-first-batch without wall-clock noise.
+    """
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = tuple(names)
+        self._rows: deque[tuple[Any, ...]] = deque()
+        self.rows_streamed = 0
+        self.first_rows_at_work: int | None = None
+        #: Whether rows arrive between episodes (True) or only at completion.
+        self.incremental = False
+
+    def push(self, rows: Sequence[tuple[Any, ...]], clock: int) -> None:
+        """Append a projected batch (``clock`` is the ledger grand total)."""
+        if not rows:
+            return
+        if self.first_rows_at_work is None:
+            self.first_rows_at_work = clock
+        self._rows.extend(rows)
+        self.rows_streamed += len(rows)
+
+    def take(self, max_rows: int | None = None) -> list[tuple[Any, ...]]:
+        """Remove and return up to ``max_rows`` buffered rows (FIFO)."""
+        if max_rows is None:
+            taken = list(self._rows)
+            self._rows.clear()
+            return taken
+        taken = []
+        while self._rows and len(taken) < max_rows:
+            taken.append(self._rows.popleft())
+        return taken
+
+    def __len__(self) -> int:
+        return len(self._rows)
 
 
 class SessionState(enum.Enum):
@@ -83,6 +136,10 @@ class QuerySession:
     submitted_at: float = field(default_factory=time.perf_counter)
     #: Whether the result was served from the result cache without running.
     cache_hit: bool = False
+    #: Whether incremental result delivery was requested at submission.
+    stream_requested: bool = False
+    #: The live stream buffer (only for streaming-eligible submissions).
+    stream: StreamBuffer | None = None
 
     @property
     def done(self) -> bool:
@@ -126,47 +183,3 @@ class MonolithicTask:
         if self._result is None:
             raise ReproError("MonolithicTask.finalize() called before completion")
         return self._result
-
-
-def create_task(
-    catalog: Catalog,
-    udfs: UdfRegistry | None,
-    session: QuerySession,
-    statistics_provider: Callable[[], Any],
-    order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
-) -> EpisodeTask:
-    """Build the episode task for a session's engine choice.
-
-    ``statistics_provider`` is called lazily (only the statistics-based
-    engines need it), so serving pure Skinner-C/G traffic never pays for
-    statistics collection.
-    """
-    engine = session.engine
-    config = session.config
-    if session.forced_order is not None and engine != "traditional":
-        raise ReproError("forced_order is only supported for engine='traditional'")
-    if engine == "skinner-c":
-        runner = SkinnerC(catalog, udfs, config, threads=session.threads)
-        return runner.task(session.query, order_prior=order_prior)
-    if engine == "skinner-g":
-        runner = SkinnerG(catalog, udfs, config,
-                          dbms_profile=session.profile, threads=session.threads)
-        return runner.task(session.query)
-    if engine == "skinner-h":
-        runner = SkinnerH(catalog, udfs, config, dbms_profile=session.profile,
-                          statistics=statistics_provider(), threads=session.threads)
-        return runner.task(session.query)
-    if engine == "traditional":
-        runner = TraditionalEngine(catalog, udfs, statistics=statistics_provider(),
-                                   profile=session.profile, threads=session.threads)
-        return MonolithicTask(
-            lambda: runner.execute(session.query, forced_order=session.forced_order)
-        )
-    if engine == "eddy":
-        runner = EddyEngine(catalog, udfs, threads=session.threads)
-        return MonolithicTask(lambda: runner.execute(session.query))
-    if engine == "reoptimizer":
-        runner = ReOptimizerEngine(catalog, udfs, statistics=statistics_provider(),
-                                   threads=session.threads)
-        return MonolithicTask(lambda: runner.execute(session.query))
-    raise ReproError(f"unknown engine {engine!r}")

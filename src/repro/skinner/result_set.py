@@ -21,6 +21,13 @@ class JoinResultSet:
     def __init__(self, aliases: Sequence[str]) -> None:
         self._aliases = tuple(aliases)
         self._tuples: set[tuple[int, ...]] = set()
+        #: Completion-safe streaming journal: when enabled, every *new* tuple
+        #: is also appended here in insertion order, and a streaming consumer
+        #: drains the undelivered suffix between episodes.  Draining never
+        #: touches the set, so finalization stays byte-identical whether or
+        #: not the result was streamed.
+        self._stream_log: list[tuple[int, ...]] | None = None
+        self._stream_cursor = 0
 
     @property
     def aliases(self) -> tuple[str, ...]:
@@ -39,6 +46,8 @@ class JoinResultSet:
         if key in self._tuples:
             return False
         self._tuples.add(key)
+        if self._stream_log is not None:
+            self._stream_log.append(key)
         return True
 
     def add_many(self, index_tuples: Iterable[Sequence[int]]) -> int:
@@ -61,12 +70,50 @@ class JoinResultSet:
             raise ValueError("batch shape must be (rows, num_aliases)")
         tuples = self._tuples
         before = len(tuples)
-        tuples.update(map(tuple, matrix.tolist()))
+        if self._stream_log is None:
+            tuples.update(map(tuple, matrix.tolist()))
+        else:
+            # Per-tuple insertion so the journal records exactly the new
+            # tuples in batch order (only streaming consumers pay for this).
+            log = self._stream_log
+            for key in map(tuple, matrix.tolist()):
+                size = len(tuples)
+                tuples.add(key)
+                if len(tuples) != size:
+                    log.append(key)
         return len(tuples) - before
 
     def tuples(self) -> list[tuple[int, ...]]:
         """All stored index vectors (unordered)."""
         return list(self._tuples)
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def enable_streaming(self) -> None:
+        """Start journaling newly added tuples for incremental delivery.
+
+        Tuples already present (e.g. the single-table fast path populates
+        the set at task construction) enter the journal in ascending order,
+        which for that path equals their insertion order — the journal is
+        deterministic regardless of set iteration order.
+        """
+        if self._stream_log is None:
+            self._stream_log = sorted(self._tuples)
+            self._stream_cursor = 0
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the streaming journal is active."""
+        return self._stream_log is not None
+
+    def drain_new(self) -> list[tuple[int, ...]]:
+        """Journaled tuples not yet delivered (advances the drain cursor)."""
+        if self._stream_log is None:
+            return []
+        batch = self._stream_log[self._stream_cursor:]
+        self._stream_cursor = len(self._stream_log)
+        return batch
 
     def to_matrix(self) -> np.ndarray:
         """The stored index vectors as a ``(rows, aliases)`` int64 matrix.

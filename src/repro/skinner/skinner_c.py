@@ -120,6 +120,35 @@ class SkinnerCTask:
         """Total work units charged to this query so far (pre + join phase)."""
         return self.pre_meter.total + self.join_meter.total
 
+    # ------------------------------------------------------------------
+    # incremental result delivery (streaming cursors)
+    # ------------------------------------------------------------------
+    def enable_streaming(self) -> None:
+        """Journal newly materialized result tuples for streaming delivery.
+
+        Must be called before the first episode; afterwards
+        :meth:`drain_new_tuples` returns the tuples each episode added, so a
+        serving-layer cursor can hand rows to the client while the join is
+        still running.  Streaming changes neither the episode sequence nor
+        the meter charges — :meth:`finalize` still materializes from the
+        full duplicate-eliminated set.
+        """
+        self.result_set.enable_streaming()
+
+    def drain_new_tuples(self) -> list[tuple[int, ...]]:
+        """Result tuples added since the last drain, in discovery order."""
+        return self.result_set.drain_new()
+
+    @property
+    def stream_aliases(self) -> tuple[str, ...]:
+        """Alias order of the tuples returned by :meth:`drain_new_tuples`."""
+        return self.result_set.aliases
+
+    @property
+    def stream_tables(self) -> dict[str, Any]:
+        """Alias-to-table mapping for projecting streamed tuples."""
+        return self.prepared.tables
+
     def run_episode(self) -> bool:
         """Execute one time slice; returns ``True`` when the join finished."""
         if self.finished:

@@ -80,3 +80,26 @@ class Catalog:
     def index_count(self) -> int:
         """Number of materialized hash indexes."""
         return len(self._indexes)
+
+    # ------------------------------------------------------------------
+    # snapshots (schema transactions)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Table]:
+        """A restorable snapshot of the registered tables.
+
+        Tables are immutable, so a shallow copy of the name-to-table
+        mapping captures the full schema state; the PEP 249 connection
+        takes one at the first mutation of a transaction and rolls back
+        to it via :meth:`restore`.
+        """
+        return dict(self._tables)
+
+    def restore(self, snapshot: dict[str, Table]) -> None:
+        """Reset the catalog to a previously taken :meth:`snapshot`.
+
+        All materialized indexes are dropped: an index built between
+        snapshot and restore may describe a table object the rollback just
+        discarded, and indexes are pure caches that rebuild on demand.
+        """
+        self._tables = dict(snapshot)
+        self._indexes = {}

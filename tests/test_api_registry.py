@@ -1,0 +1,169 @@
+"""Tests for the engine registry: single dispatch point, pluggable engines."""
+
+import pytest
+
+from repro import ENGINE_NAMES, ReproError, SkinnerConfig, SkinnerDB, register_engine
+from repro.api import DEFAULT_REGISTRY, EngineRegistry, EngineSpec, connect
+from repro.result import QueryMetrics, QueryResult
+from repro.serving import SERVABLE_ENGINES
+from repro.storage.table import Table
+
+FAST = SkinnerConfig(slice_budget=64, batches_per_table=3, base_timeout=200)
+
+BUILTINS = ("skinner-c", "skinner-g", "skinner-h", "traditional", "eddy", "reoptimizer")
+
+
+class ToyEngine:
+    """A trivial engine answering every query with one constant row."""
+
+    def __init__(self, context) -> None:
+        self.context = context
+
+    def execute(self, query) -> QueryResult:
+        table = Table("result", {"answer": [42]})
+        return QueryResult(table, QueryMetrics(engine="toy"))
+
+
+@pytest.fixture
+def db() -> SkinnerDB:
+    db = SkinnerDB(config=FAST)
+    db.create_table("r", {"id": [1, 2, 3], "x": [10, 20, 30]})
+    return db
+
+
+@pytest.fixture
+def toy_registered():
+    spec = register_engine(name="toy", factory=ToyEngine)
+    try:
+        yield spec
+    finally:
+        DEFAULT_REGISTRY.unregister("toy")
+
+
+class TestRegistryBasics:
+    def test_builtins_registered(self):
+        assert DEFAULT_REGISTRY.names() == BUILTINS
+
+    def test_engine_names_and_servable_engines_are_registry_views(self):
+        assert tuple(ENGINE_NAMES) == DEFAULT_REGISTRY.names()
+        assert tuple(SERVABLE_ENGINES) == DEFAULT_REGISTRY.names()
+        assert ENGINE_NAMES == SERVABLE_ENGINES
+
+    def test_views_are_live(self, toy_registered):
+        assert "toy" in ENGINE_NAMES
+        assert "toy" in SERVABLE_ENGINES
+        assert list(ENGINE_NAMES) == list(SERVABLE_ENGINES)
+
+    def test_resolve_is_case_insensitive(self):
+        assert DEFAULT_REGISTRY.resolve("SKINNER-C").name == "skinner-c"
+
+    def test_duplicate_registration_rejected(self, toy_registered):
+        with pytest.raises(ReproError):
+            register_engine(name="toy", factory=ToyEngine)
+        register_engine(name="toy", factory=ToyEngine, replace=True)
+
+    def test_spec_capabilities_default_off(self, toy_registered):
+        spec = DEFAULT_REGISTRY.resolve("toy")
+        assert not spec.supports_forced_order
+        assert not spec.streamable
+        assert not spec.episodic
+
+    def test_custom_registry_is_isolated(self):
+        registry = EngineRegistry()
+        registry.register(EngineSpec("only", ToyEngine))
+        assert registry.names() == ("only",)
+        assert "only" not in DEFAULT_REGISTRY
+
+
+class TestUnknownEngineError:
+    """Satellite: the unknown-engine error comes from one place (the registry)
+    with the same message on the serving and direct paths."""
+
+    def _message(self, call) -> str:
+        with pytest.raises(ReproError) as excinfo:
+            call()
+        return str(excinfo.value)
+
+    def test_same_message_on_both_paths(self, db):
+        served = self._message(lambda: db.execute("SELECT r.x FROM r", engine="sqlite"))
+        direct = self._message(
+            lambda: db.execute_direct("SELECT r.x FROM r", engine="sqlite")
+        )
+        assert served == direct
+        assert "unknown engine 'sqlite'" in served
+        assert "registered engines:" in served
+        for name in BUILTINS:
+            assert name in served
+
+    def test_same_message_on_server_submit_and_cursor(self, db):
+        submit = self._message(
+            lambda: db.server.submit("SELECT r.x FROM r", engine="sqlite")
+        )
+        cursor = self._message(
+            lambda: db.cursor().execute("SELECT r.x FROM r", engine="sqlite")
+        )
+        direct = self._message(
+            lambda: db.execute_direct("SELECT r.x FROM r", engine="sqlite")
+        )
+        assert submit == cursor == direct
+
+
+class TestCustomEngine:
+    """Acceptance: a registered toy engine executes through both
+    ``Connection.cursor()`` and ``SkinnerDB.execute`` without touching
+    library code."""
+
+    def test_toy_engine_via_facade(self, db, toy_registered):
+        result = db.execute("SELECT r.x FROM r", engine="toy")
+        assert result.rows == [{"answer": 42}]
+        assert result.metrics.engine == "toy"
+
+    def test_toy_engine_via_execute_direct(self, db, toy_registered):
+        result = db.execute_direct("SELECT r.x FROM r", engine="toy")
+        assert result.rows == [{"answer": 42}]
+
+    def test_toy_engine_via_cursor(self, toy_registered):
+        conn = connect(FAST)
+        conn.create_table("r", {"id": [1], "x": [10]})
+        cursor = conn.cursor()
+        cursor.execute("SELECT r.x FROM r", engine="toy")
+        assert cursor.fetchall() == [(42,)]
+
+    def test_toy_engine_via_server_submit(self, db, toy_registered):
+        ticket = db.server.submit("SELECT r.x FROM r", engine="toy")
+        assert db.server.result(ticket).rows == [{"answer": 42}]
+
+    def test_factory_receives_context(self, db, toy_registered):
+        captured = {}
+
+        def factory(context):
+            captured["context"] = context
+            return ToyEngine(context)
+
+        register_engine(name="toy", factory=factory, replace=True)
+        db.execute("SELECT r.x FROM r", engine="toy", profile="monetdb", threads=3)
+        context = captured["context"]
+        assert context.catalog is db.catalog
+        assert context.profile == "monetdb"
+        assert context.threads == 3
+
+
+class TestForcedOrderCapability:
+    def test_forced_order_rejected_without_capability(self, db):
+        for call in (
+            lambda: db.execute("SELECT r.x FROM r", engine="eddy", forced_order=("r",)),
+            lambda: db.execute_direct(
+                "SELECT r.x FROM r", engine="eddy", forced_order=("r",)
+            ),
+        ):
+            with pytest.raises(ReproError, match="forced_order is not supported"):
+                call()
+
+    def test_forced_order_accepted_by_traditional(self, db):
+        db.create_table("s", {"rid": [1, 2], "y": [5, 6]})
+        result = db.execute(
+            "SELECT r.x FROM r, s WHERE r.id = s.rid",
+            engine="traditional",
+            forced_order=("s", "r"),
+        )
+        assert result.metrics.final_join_order == ("s", "r")

@@ -173,3 +173,80 @@ class TestErrors:
         with pytest.raises(ParseError) as excinfo:
             parse_query("SELECT * FROM orders WHERE a ~ 3")
         assert excinfo.value.position is not None
+
+
+class TestParameterBinding:
+    def test_qmark_binds_positionally(self):
+        query = parse_query(
+            "SELECT o.amount FROM orders o WHERE o.cid = ? AND o.amount > ?",
+            params=(3, 10),
+        )
+        assert query.predicates[0].right == Literal(3)
+        assert query.predicates[1].right == Literal(10)
+
+    def test_named_binds_by_key(self):
+        query = parse_query(
+            "SELECT o.amount FROM orders o WHERE o.cid = :cid", params={"cid": 9}
+        )
+        assert query.predicates[0].right == Literal(9)
+
+    def test_named_parameter_reused(self):
+        query = parse_query(
+            "SELECT o.amount FROM orders o WHERE o.cid = :v AND o.amount = :v",
+            params={"v": 5},
+        )
+        assert query.predicates[0].right == Literal(5)
+        assert query.predicates[1].right == Literal(5)
+
+    def test_string_values_bind_as_literals(self):
+        query = parse_query(
+            "SELECT c.cid FROM customers c WHERE c.country = ?",
+            params=("o' brien",),
+        )
+        assert query.predicates[0].right == Literal("o' brien")
+
+    def test_parameters_allowed_in_select_list(self):
+        query = parse_query("SELECT ? FROM orders", params=(42,))
+        assert query.select_items[0].expression == Literal(42)
+
+    def test_placeholders_in_select_and_where_bind_in_text_order(self):
+        query = parse_query(
+            "SELECT ? FROM orders o WHERE o.amount = ?", params=("first", "second")
+        )
+        assert query.select_items[0].expression == Literal("first")
+        assert query.predicates[0].right == Literal("second")
+
+    def test_between_with_parameters(self):
+        query = parse_query(
+            "SELECT o.oid FROM orders o WHERE o.amount BETWEEN ? AND ?",
+            params=(5, 15),
+        )
+        assert query.predicates[0].right == Literal(5)
+        assert query.predicates[1].right == Literal(15)
+
+    def test_missing_params_raises(self):
+        with pytest.raises(ParseError, match="no parameters were given"):
+            parse_query("SELECT o.oid FROM orders o WHERE o.amount = ?")
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ParseError, match="2 positional"):
+            parse_query("SELECT o.oid FROM orders o WHERE o.cid = ? AND o.amount = ?",
+                        params=(1,))
+
+    def test_mapping_for_qmark_raises(self):
+        with pytest.raises(ParseError, match="parameter sequence"):
+            parse_query("SELECT o.oid FROM orders o WHERE o.amount = ?",
+                        params={"amount": 1})
+
+    def test_sequence_for_named_raises(self):
+        with pytest.raises(ParseError, match="parameter mapping"):
+            parse_query("SELECT o.oid FROM orders o WHERE o.amount = :a", params=(1,))
+
+    def test_mixed_styles_raise(self):
+        with pytest.raises(ParseError, match="mix"):
+            parse_query("SELECT o.oid FROM orders o WHERE o.cid = ? AND o.amount = :a",
+                        params=(1,))
+
+    def test_params_without_placeholders_raise(self):
+        with pytest.raises(ParseError, match="no parameter placeholders"):
+            parse_query("SELECT * FROM orders", params=(1,))
