@@ -37,6 +37,9 @@ _SMOKE_LIMITS: dict[str, Any] = {
     "tuples_per_table": 60,
     "budget": 5_000,
     "table_counts": (3,),
+    "clients": 3,
+    "queries_per_client": 2,
+    "heavy_sessions": 2,
 }
 
 

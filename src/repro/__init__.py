@@ -48,6 +48,8 @@ from repro.errors import (
     BudgetExceeded,
     CatalogError,
     ExecutionError,
+    InterfaceError,
+    OperationalError,
     ParseError,
     PlanningError,
     ReproError,
@@ -71,6 +73,8 @@ __all__ = [
     "EngineRegistry",
     "EngineSpec",
     "ExecutionError",
+    "InterfaceError",
+    "OperationalError",
     "ParseError",
     "PlanningError",
     "Query",

@@ -1,12 +1,18 @@
 """``repro.api`` — the PEP 249-style public API of the repository.
 
-Three pieces:
+Four pieces:
 
 * :func:`connect` / :class:`Connection` / :class:`Cursor` — the DB-API 2.0
   surface: session-scoped schema management with transactions over schema
   mutations, parameterized ``execute(sql, params)``, and **streaming**
   fetches (``fetchmany`` returns first rows before the query completes when
-  the engine supports it).
+  the engine supports it).  ``connect()`` takes either a config (in-process
+  database) or a ``repro://host:port/?tenant=...`` DSN (remote server).
+* :class:`Transport` / :class:`LocalTransport` /
+  :class:`~repro.net.client.RemoteTransport` — the single result channel
+  behind connections and cursors; both the streamed fetch path and the
+  completion-delivered result path go through it, which is what makes
+  local and remote connections behave identically.
 * :class:`EngineRegistry` / :class:`EngineSpec` / :func:`register_engine` —
   the pluggable engine registry every execution path resolves engine names
   through; third-party engines register here and become usable from
@@ -25,6 +31,7 @@ from repro.api.connection import (
     threadsafety,
 )
 from repro.api.cursor import Cursor
+from repro.api.transport import LocalTransport, SubmitHandle, Transport
 from repro.api.registry import (
     BUILTIN_SPECS,
     DEFAULT_REGISTRY,
@@ -40,6 +47,9 @@ __all__ = [
     "BUILTIN_SPECS",
     "Connection",
     "Cursor",
+    "LocalTransport",
+    "SubmitHandle",
+    "Transport",
     "DEFAULT_REGISTRY",
     "EngineContext",
     "EngineRegistry",

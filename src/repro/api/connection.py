@@ -1,12 +1,20 @@
-"""PEP 249-style connections over the repro engines.
+"""PEP 249-style connections over the repro engines — local or remote.
 
-:func:`connect` opens a :class:`Connection` — the session object owning a
-catalog, a UDF registry, the serving layer, and the engine registry the
-session resolves ``engine=`` names against.  Cursors created from it submit
-queries through the :class:`~repro.serving.server.QueryServer`, so every
-cursor execution gets admission control, fair-share scheduling, the serving
-caches, and — for streamable engine/query combinations — incremental result
-delivery (first rows before the query completes).
+:func:`connect` opens a :class:`Connection` in one of two forms:
+
+* ``connect(config)`` (or no arguments) — the historical in-process form:
+  the connection owns a catalog, a UDF registry, the serving layer, and the
+  engine registry the session resolves ``engine=`` names against.
+* ``connect("repro://host:port/?tenant=...")`` — a DSN: the connection
+  speaks the length-prefixed JSON wire protocol of :mod:`repro.net`
+  against a live server; the catalog, UDFs, and scheduling live
+  server-side and this process only holds a socket.
+
+Either way the connection routes every operation through one
+:class:`~repro.api.transport.Transport`, so cursors, schema mutations, and
+transactions behave identically over both forms (capability differences —
+no Python UDFs or prebuilt :class:`Query` objects over the wire — raise
+:class:`~repro.errors.InterfaceError`; see ``docs/api.md``).
 
 Transactions cover *schema mutations*: ``create_table`` / ``add_table`` /
 ``load_csv`` / ``drop_table`` / ``register_udf`` apply immediately (queries
@@ -14,7 +22,13 @@ in the same session see them), and ``rollback()`` restores the catalog and
 UDF registry to their state at the last ``commit()``.  Query execution is
 read-only and unaffected by transaction boundaries.  Facade-style callers
 (:class:`repro.db.SkinnerDB`) open the connection with ``autocommit=True``,
-which turns every mutation into its own committed transaction.
+which turns every mutation into its own committed transaction.  On a
+remote connection the transaction verbs act on the server's shared session
+(see ``docs/serving.md``).
+
+Use-after-close raises :class:`~repro.errors.InterfaceError` (a
+:class:`~repro.errors.ReproError` subclass) from every connection and
+cursor method, and ``close()`` is idempotent — both per PEP 249.
 """
 
 from __future__ import annotations
@@ -25,15 +39,15 @@ from typing import TYPE_CHECKING, Any
 
 from repro.api.cursor import Cursor
 from repro.api.registry import DEFAULT_REGISTRY, EngineContext, EngineRegistry
+from repro.api.transport import LocalTransport, Transport
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
-from repro.errors import ReproError
+from repro.errors import InterfaceError, OperationalError, ReproError
 from repro.optimizer.statistics import StatisticsCatalog
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
 from repro.storage.catalog import Catalog
-from repro.storage.loader import load_csv
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -49,12 +63,24 @@ paramstyle = "qmark"
 
 
 def connect(
-    config: SkinnerConfig = DEFAULT_CONFIG,
+    config: SkinnerConfig | str = DEFAULT_CONFIG,
     *,
     registry: EngineRegistry | None = None,
     autocommit: bool = False,
+    tenant: str | None = None,
+    timeout: float | None = None,
 ) -> Connection:
-    """Open a connection to a fresh in-memory database.
+    """Open a connection — to a fresh in-memory database, or to a server.
+
+    The first argument is either a :class:`~repro.config.SkinnerConfig`
+    (in-process database, the historical form) or a DSN string
+    ``repro://host:port/?tenant=name&timeout=seconds`` selecting the remote
+    transport.  ``tenant`` and ``timeout`` keyword arguments override the
+    DSN's query parameters; for an in-process connection ``tenant`` tags
+    this connection's submissions in the serving layer's quota accounting
+    and ``timeout`` is ignored (there is no wire to time out).
+    ``registry`` and ``autocommit`` apply to in-process connections only
+    (a remote server resolves engines and commits against its own state).
 
     >>> import repro.api as db_api
     >>> conn = db_api.connect()
@@ -66,17 +92,28 @@ def connect(
     >>> cur.fetchall()
     [(20,)]
     """
-    return Connection(config, registry=registry, autocommit=autocommit)
+    if isinstance(config, str):
+        from repro.net.client import RemoteTransport
+
+        transport = RemoteTransport.from_dsn(config, tenant=tenant, timeout=timeout)
+        return Connection(transport=transport)
+    return Connection(
+        config,
+        registry=registry,
+        autocommit=autocommit,
+        tenant=tenant if tenant is not None else "default",
+    )
 
 
 class Connection:
-    """A session: schema + UDFs + serving layer + engine registry.
+    """A session: schema + UDFs + serving layer, behind one transport.
 
     Parameters
     ----------
     config:
         Default :class:`~repro.config.SkinnerConfig` for executions on this
-        connection (including the ``serving_*`` sizing knobs).
+        connection (including the ``serving_*`` sizing knobs).  Unused when
+        ``transport`` is given (the server's own config applies).
     registry:
         Engine registry for resolving ``engine=`` names; defaults to the
         process-wide registry, so engines added via
@@ -84,6 +121,13 @@ class Connection:
     autocommit:
         When true, schema mutations commit immediately and ``rollback()``
         is a no-op (the :class:`~repro.db.SkinnerDB` facade's mode).
+    tenant:
+        Tenant identity for the serving layer's quota accounting.
+    transport:
+        A remote :class:`~repro.api.transport.Transport`; when given, the
+        connection holds no local catalog/UDFs/server and every operation
+        crosses the wire.  Use :func:`connect` with a DSN rather than
+        constructing one directly.
     """
 
     def __init__(
@@ -92,12 +136,24 @@ class Connection:
         *,
         registry: EngineRegistry | None = None,
         autocommit: bool = False,
+        tenant: str = "default",
+        transport: Transport | None = None,
     ) -> None:
-        self.catalog = Catalog()
-        self.udfs = UdfRegistry()
-        self.config = config
-        self.autocommit = autocommit
-        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._remote = transport is not None
+        if transport is not None:
+            self.catalog = None
+            self.udfs = None
+            self.config = None
+            self.registry = None
+            self.autocommit = False
+            self._transport: Transport = transport
+        else:
+            self.catalog = Catalog()
+            self.udfs = UdfRegistry()
+            self.config = config
+            self.autocommit = autocommit
+            self.registry = registry if registry is not None else DEFAULT_REGISTRY
+            self._transport = LocalTransport(self, tenant=tenant)
         self._statistics: StatisticsCatalog | None = None
         self._server: QueryServer | None = None
         self._closed = False
@@ -113,14 +169,38 @@ class Connection:
         """Whether :meth:`close` was called."""
         return self._closed
 
+    @property
+    def is_remote(self) -> bool:
+        """Whether operations cross a process boundary (DSN connection)."""
+        return self._remote
+
+    @property
+    def transport(self) -> Transport:
+        """The transport every operation on this connection routes through."""
+        return self._transport
+
+    @property
+    def tenant(self) -> str:
+        """Tenant identity this connection's submissions are accounted to."""
+        return self._transport.tenant
+
     def close(self) -> None:
-        """Close the connection: roll back pending schema changes, close cursors."""
+        """Close the connection: roll back pending schema changes, close
+        cursors, release the transport.  Idempotent (PEP 249)."""
         if self._closed:
             return
-        self.rollback()
-        for cursor in list(self._cursors):
-            cursor.close()
-        self._closed = True
+        try:
+            self.rollback()
+            for cursor in list(self._cursors):
+                cursor.close()
+        except OperationalError:
+            pass  # a dead wire must not keep the handle open client-side
+        finally:
+            self._closed = True
+            try:
+                self._transport.close()
+            except OperationalError:
+                pass
 
     def __enter__(self) -> Connection:
         return self
@@ -135,40 +215,41 @@ class Connection:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ReproError("connection is closed")
+            raise InterfaceError("connection is closed")
+
+    def _check_local(self, operation: str) -> None:
+        if self._remote:
+            raise InterfaceError(
+                f"{operation} is not available on a remote connection "
+                "(the catalog and engines live server-side)"
+            )
 
     # ------------------------------------------------------------------
     # transactions over schema mutations
     # ------------------------------------------------------------------
     @property
     def in_transaction(self) -> bool:
-        """Whether uncommitted schema mutations exist."""
+        """Whether uncommitted schema mutations exist (local connections)."""
+        self._check_local("in_transaction")
         return self._txn_tables is not None
 
     def _before_mutation(self) -> None:
         """Open an implicit transaction at the first mutation (PEP 249)."""
-        self._check_open()
-        if not self.autocommit and self._txn_tables is None:
+        if not self.autocommit and self._txn_tables is None and not self._remote:
+            assert self.catalog is not None and self.udfs is not None
             self._txn_tables = self.catalog.snapshot()
             self._txn_udfs = self.udfs.snapshot()
 
     def commit(self) -> None:
         """Make schema mutations since the last commit permanent."""
         self._check_open()
-        self._txn_tables = None
-        self._txn_udfs = None
+        self._transport.commit()
 
     def rollback(self) -> None:
         """Undo schema mutations since the last commit."""
         if self._closed:
             return
-        if self._txn_tables is not None:
-            self.catalog.restore(self._txn_tables)
-            assert self._txn_udfs is not None
-            self.udfs.restore(self._txn_udfs)
-            self._txn_tables = None
-            self._txn_udfs = None
-            self._invalidate()
+        self._transport.rollback()
 
     # ------------------------------------------------------------------
     # schema management
@@ -177,23 +258,18 @@ class Connection:
         self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool = False
     ) -> Table:
         """Create a table from a column name to value-list mapping."""
-        self._before_mutation()
-        table = Table(name, columns)
-        self.catalog.add_table(table, replace=replace)
-        self._invalidate()
-        return table
+        self._check_open()
+        return self._transport.create_table(name, columns, replace=replace)
 
     def add_table(self, table: Table, *, replace: bool = False) -> None:
         """Register an existing :class:`Table`."""
-        self._before_mutation()
-        self.catalog.add_table(table, replace=replace)
-        self._invalidate()
+        self._check_open()
+        self._transport.add_table(table, replace=replace)
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
-        self._before_mutation()
-        self.catalog.drop_table(name)
-        self._invalidate()
+        self._check_open()
+        self._transport.drop_table(name)
 
     def load_csv(
         self,
@@ -202,12 +278,13 @@ class Connection:
         *,
         replace: bool = False,
     ) -> Table:
-        """Load a CSV file into a new table (``replace=True`` to reload)."""
-        self._before_mutation()
-        table = load_csv(path, table_name)
-        self.catalog.add_table(table, replace=replace)
-        self._invalidate()
-        return table
+        """Load a CSV file into a new table (``replace=True`` to reload).
+
+        The file is always read client-side; over a remote transport the
+        parsed columns are shipped to the server.
+        """
+        self._check_open()
+        return self._transport.load_csv(path, table_name, replace=replace)
 
     def register_udf(
         self,
@@ -218,12 +295,16 @@ class Connection:
         selectivity_hint: float = 0.33,
         replace: bool = False,
     ) -> None:
-        """Register a user-defined function callable from SQL."""
-        self._before_mutation()
-        self.udfs.register(
+        """Register a user-defined function callable from SQL.
+
+        Local connections only: Python callables cannot be shipped over
+        the wire (remote transports raise
+        :class:`~repro.errors.InterfaceError`).
+        """
+        self._check_open()
+        self._transport.register_udf(
             name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
         )
-        self._invalidate()
 
     def _invalidate(self) -> None:
         """Schema or UDF change: drop statistics and serving caches."""
@@ -236,6 +317,7 @@ class Connection:
     # ------------------------------------------------------------------
     def statistics(self, *, refresh: bool = False) -> StatisticsCatalog:
         """Collect (or return cached) optimizer statistics."""
+        self._check_local("statistics()")
         if self._statistics is None or refresh:
             self._statistics = StatisticsCatalog.collect(self.catalog)
         return self._statistics
@@ -246,6 +328,7 @@ class Connection:
     @property
     def server(self) -> QueryServer:
         """The serving layer over this connection (created lazily)."""
+        self._check_local("server")
         if self._server is None:
             from repro.serving.server import QueryServer
 
@@ -269,7 +352,17 @@ class Connection:
         params: Sequence[Any] | Mapping[str, Any] | None = None,
     ) -> Query:
         """Parse SQL text (with optional bound parameters) into a query."""
+        self._check_local("parse()")
         return parse_query(sql, self.catalog, params)
+
+    def stats(self) -> dict[str, Any]:
+        """Serving-layer metrics: queue depths, tenant shares, cache hits.
+
+        Works over both transports — remotely this is the wire protocol's
+        metrics/health verb.
+        """
+        self._check_open()
+        return self._transport.stats()
 
     def execute(
         self,
@@ -286,18 +379,16 @@ class Connection:
         """Execute a query through the serving layer and return the result.
 
         This is the whole-result convenience path (cursors stream); it
-        resolves the engine through the connection's registry and benefits
-        from the serving caches and the join-order warm start.
+        resolves the engine through the serving side's registry and
+        benefits from the serving caches and the join-order warm start.
         """
         self._check_open()
-        parsed = self._resolve_query(query, params)
-        return self.server.execute(
-            parsed,
+        return self._transport.execute(
+            query,
+            params,
             engine=engine,
             profile=profile,
-            # Resolve against the connection's (reassignable) config, not
-            # the server's construction-time snapshot.
-            config=config or self.config,
+            config=config,
             threads=threads,
             forced_order=forced_order,
             use_result_cache=use_result_cache,
@@ -319,9 +410,12 @@ class Connection:
         The pre-serving code path, kept for A/B comparisons and callers
         that want to bypass admission control and the caches; engines are
         resolved through the same registry as :meth:`execute`, so both
-        paths reject an unknown engine with the identical error.
+        paths reject an unknown engine with the identical error.  Local
+        connections only — a remote server always serves through its
+        scheduler.
         """
         self._check_open()
+        self._check_local("execute_direct()")
         parsed = self._resolve_query(query, params)
         spec = self.registry.resolve(engine)
         context = EngineContext(

@@ -1,22 +1,27 @@
 """PEP 249-style cursors with streaming result fetches.
 
 A :class:`Cursor` submits its query through the connection's
-:class:`~repro.serving.server.QueryServer` with incremental delivery
-enabled, so ``fetchone`` / ``fetchmany`` hand rows to the client as the
-engine materializes them — for a streamable engine/query combination the
-first batch arrives strictly before the query completes (the whole point of
-an engine that adapts *during* execution).  Queries with blocking
-post-processing (aggregates, GROUP BY, ORDER BY, DISTINCT, LIMIT) deliver
-all rows at completion through the same interface.
+:class:`~repro.api.transport.Transport` with incremental delivery enabled,
+so ``fetchone`` / ``fetchmany`` hand rows to the client as the engine
+materializes them — for a streamable engine/query combination the first
+batch arrives strictly before the query completes (the whole point of an
+engine that adapts *during* execution).  Queries with blocking
+post-processing (aggregates, GROUP BY, ORDER BY, DISTINCT) deliver all
+rows at completion through the same interface; a plain LIMIT on a
+streamable query is pushed into the stream, so the session stops running
+— and releases its admission slot — the moment the cursor's row budget is
+filled.
 
-Fetch calls cooperatively drive the server, so several open cursors on one
-connection interleave their queries' episodes: fetching from one cursor
-advances the others' queries too, exactly like any other submission sharing
-the scheduler.
+Because the cursor only sees the transport, the same code serves both
+in-process connections and ``repro://`` remote ones.  On a local
+connection fetch calls cooperatively drive the server, so several open
+cursors interleave their queries' episodes; on a remote connection the
+server's own pump makes progress and fetches simply wait for batches.
 
 Closing a cursor mid-stream cancels its submission (at the next episode
 boundary) and releases its admission slot — abandoning a half-fetched
-result cannot starve later queries.
+result cannot starve later queries.  All methods raise
+:class:`~repro.errors.InterfaceError` after ``close()`` (PEP 249).
 """
 
 from __future__ import annotations
@@ -25,9 +30,8 @@ from collections.abc import Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.config import SkinnerConfig
-from repro.errors import ReproError
+from repro.errors import InterfaceError, ReproError
 from repro.result import QueryResult
-from repro.serving.session import SessionState
 
 if TYPE_CHECKING:
     from repro.api.connection import Connection
@@ -76,9 +80,9 @@ class Cursor:
         """Rows produced by the last query, or -1 while still unknown."""
         if self._ticket is None:
             return -1
-        session = self.connection.server.session(self._ticket)
-        if session.state is SessionState.FINISHED and session.result is not None:
-            return session.result.table.num_rows
+        snapshot = self.connection.transport.poll(self._ticket)
+        if snapshot.get("state") == "finished" and "result_rows" in snapshot:
+            return snapshot["result_rows"]
         return -1
 
     @property
@@ -88,7 +92,7 @@ class Cursor:
 
     @property
     def ticket(self) -> int | None:
-        """Server ticket of the current submission (for ``server.poll`` etc.)."""
+        """Server ticket of the current submission (for ``poll`` etc.)."""
         return self._ticket
 
     # ------------------------------------------------------------------
@@ -111,21 +115,20 @@ class Cursor:
         """Submit a query for (streaming) execution; returns the cursor.
 
         ``operation`` is SQL text with optional ``?`` / ``:name``
-        placeholders bound from ``parameters``, or a prebuilt
-        :class:`~repro.query.query.Query`.  The call returns as soon as the
-        query is admitted or queued — rows are produced by the fetch
-        methods, which drive the scheduler cooperatively.
+        placeholders bound from ``parameters``, or (on a local connection)
+        a prebuilt :class:`~repro.query.query.Query`.  The call returns as
+        soon as the query is admitted or queued — rows are produced by the
+        fetch methods.  ``config=None`` uses the serving side's default:
+        the connection's config locally, the *server's* config remotely.
         """
         self._check_fetchable(needs_query=False)
         self._abandon()
-        connection = self.connection
-        parsed = connection._resolve_query(operation, parameters)
-        server = connection.server
-        self._ticket = server.submit(
-            parsed,
+        handle = self.connection.transport.submit(
+            operation,
+            parameters,
             engine=engine or self.engine,
             profile=profile or self.profile,
-            config=config or connection.config,
+            config=config,
             threads=threads,
             forced_order=forced_order,
             use_result_cache=use_result_cache,
@@ -133,8 +136,8 @@ class Cursor:
             priority=priority,
             stream=True,
         )
-        names = parsed.output_names(connection.catalog)
-        self._description = [(name,) + _DESCRIPTION_PAD for name in names]
+        self._ticket = handle.ticket
+        self._description = [(name,) + _DESCRIPTION_PAD for name in handle.columns]
         return self
 
     def executemany(
@@ -187,7 +190,7 @@ class Cursor:
     def _fetch(self, max_rows: int | None) -> list[tuple[Any, ...]]:
         self._check_fetchable(needs_query=True)
         assert self._ticket is not None
-        return self.connection.server.fetch(self._ticket, max_rows)
+        return self.connection.transport.fetch(self._ticket, max_rows)
 
     # ------------------------------------------------------------------
     # results and metrics
@@ -201,7 +204,7 @@ class Cursor:
         """
         self._check_fetchable(needs_query=True)
         assert self._ticket is not None
-        return self.connection.server.result(self._ticket)
+        return self.connection.transport.result(self._ticket)
 
     @property
     def metrics(self):
@@ -216,7 +219,8 @@ class Cursor:
 
         Safe mid-stream: a running query is cancelled at its next episode
         boundary and its admission slot is handed to the next queued
-        query — closing early never leaks serving capacity.
+        query — closing early never leaks serving capacity, locally or
+        over the wire.  Idempotent (PEP 249).
         """
         if self._closed:
             return
@@ -228,15 +232,12 @@ class Cursor:
         """Drop the current submission (cancel if still in flight)."""
         if self._ticket is None:
             return
-        server = self.connection.server
+        transport = self.connection.transport
         try:
-            session = server.session(self._ticket)
+            transport.cancel(self._ticket)
+            transport.forget(self._ticket)
         except ReproError:
-            session = None  # already forgotten server-side
-        if session is not None:
-            if not session.done:
-                server.cancel(self._ticket)
-            server.forget(self._ticket)
+            pass  # already forgotten server-side, or the wire is gone
         self._ticket = None
         self._description = None
 
@@ -248,11 +249,11 @@ class Cursor:
 
     def _check_fetchable(self, *, needs_query: bool) -> None:
         if self._closed:
-            raise ReproError("cursor is closed")
+            raise InterfaceError("cursor is closed")
         if self.connection.closed:
-            raise ReproError("connection is closed")
+            raise InterfaceError("connection is closed")
         if needs_query and self._ticket is None:
-            raise ReproError("no query has been executed on this cursor")
+            raise InterfaceError("no query has been executed on this cursor")
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"ticket={self._ticket}"

@@ -1,0 +1,320 @@
+"""Transports: the single result channel behind connections and cursors.
+
+The PEP 249 surface (:class:`~repro.api.connection.Connection` /
+:class:`~repro.api.cursor.Cursor`) does not talk to an execution engine
+directly; every operation — submissions, streamed fetches, whole results,
+schema mutations, transaction boundaries, metrics — goes through one
+:class:`Transport`.  Two implementations exist:
+
+* :class:`LocalTransport` — the in-process path: operations act on the
+  connection's own catalog, UDF registry, and lazily created
+  :class:`~repro.serving.server.QueryServer`.  This is what ``connect()``
+  with a :class:`~repro.config.SkinnerConfig` (the historical form) uses.
+* :class:`~repro.net.client.RemoteTransport` — a blocking socket speaking
+  the length-prefixed JSON protocol of :mod:`repro.net` against a live
+  server.  ``connect("repro://host:port/?tenant=...")`` resolves to it.
+
+Because cursors only see the transport interface, the streamed fetch path
+and the completion-delivered result path behave identically against either
+transport — the property tests pin byte-identical rows and meter charges
+between the two.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.config import SkinnerConfig
+from repro.result import QueryResult
+from repro.storage.loader import load_csv
+from repro.storage.table import Table
+
+if TYPE_CHECKING:
+    from repro.api.connection import Connection
+
+
+@dataclass(frozen=True)
+class SubmitHandle:
+    """What a submission returns: the server ticket plus output columns.
+
+    The columns travel with the handle so a cursor can populate its PEP 249
+    ``description`` without a client-side catalog (remote connections have
+    none — the server parses the query and reports the output names).
+    """
+
+    ticket: int
+    columns: tuple[str, ...]
+
+
+class Transport(ABC):
+    """The operations a connection needs from its execution backend."""
+
+    #: Whether operations cross a process boundary (capability flag: remote
+    #: transports cannot ship Python objects — prebuilt queries, UDFs).
+    remote: bool = False
+    #: Tenant identity submissions are accounted to (fixed at handshake for
+    #: remote transports).
+    tenant: str = "default"
+
+    # -- query execution ------------------------------------------------
+    @abstractmethod
+    def submit(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+        weight: float,
+        priority: int,
+        stream: bool = True,
+    ) -> SubmitHandle:
+        """Submit a query; ``config=None`` means the backend's default."""
+
+    @abstractmethod
+    def fetch(self, ticket: int, max_rows: int | None) -> list[tuple[Any, ...]]:
+        """Next streamed row batch (empty list = result exhausted)."""
+
+    @abstractmethod
+    def poll(self, ticket: int) -> dict[str, Any]:
+        """Non-blocking progress snapshot of a submission."""
+
+    @abstractmethod
+    def result(self, ticket: int) -> QueryResult:
+        """The completed result (drives/waits until the query finishes)."""
+
+    @abstractmethod
+    def cancel(self, ticket: int) -> bool:
+        """Cancel a queued or running submission."""
+
+    @abstractmethod
+    def forget(self, ticket: int) -> bool:
+        """Drop a terminal submission's server-side bookkeeping."""
+
+    @abstractmethod
+    def execute(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+    ) -> QueryResult:
+        """Whole-result convenience path (submit + result + forget)."""
+
+    # -- schema and transactions ----------------------------------------
+    @abstractmethod
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool
+    ) -> Table:
+        """Create a table from a column mapping."""
+
+    @abstractmethod
+    def add_table(self, table: Table, *, replace: bool) -> None:
+        """Register an existing table (shipped column-wise when remote)."""
+
+    @abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Remove a table."""
+
+    @abstractmethod
+    def load_csv(
+        self, path: str | Path, table_name: str | None, *, replace: bool
+    ) -> Table:
+        """Load a CSV file (always read client-side) into a table."""
+
+    @abstractmethod
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        cost: int,
+        selectivity_hint: float,
+        replace: bool,
+    ) -> None:
+        """Register a Python UDF (local transports only)."""
+
+    @abstractmethod
+    def commit(self) -> None:
+        """Make schema mutations since the last commit permanent."""
+
+    @abstractmethod
+    def rollback(self) -> None:
+        """Undo schema mutations since the last commit."""
+
+    # -- lifecycle and health -------------------------------------------
+    @abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """Serving-layer metrics (queue depths, tenant shares, caches)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class LocalTransport(Transport):
+    """The in-process transport over a connection's own serving layer."""
+
+    remote = False
+
+    def __init__(self, connection: Connection, tenant: str = "default") -> None:
+        self._connection = connection
+        self.tenant = tenant
+
+    # -- query execution ------------------------------------------------
+    def submit(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+        weight: float,
+        priority: int,
+        stream: bool = True,
+    ) -> SubmitHandle:
+        conn = self._connection
+        parsed = conn._resolve_query(operation, parameters)
+        ticket = conn.server.submit(
+            parsed,
+            engine=engine,
+            profile=profile,
+            # Resolve against the connection's (reassignable) config, not
+            # the server's construction-time snapshot.
+            config=config or conn.config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+            weight=weight,
+            priority=priority,
+            tenant=self.tenant,
+            stream=stream,
+        )
+        return SubmitHandle(ticket, tuple(parsed.output_names(conn.catalog)))
+
+    def fetch(self, ticket: int, max_rows: int | None) -> list[tuple[Any, ...]]:
+        return self._connection.server.fetch(ticket, max_rows)
+
+    def poll(self, ticket: int) -> dict[str, Any]:
+        return self._connection.server.poll(ticket)
+
+    def result(self, ticket: int) -> QueryResult:
+        return self._connection.server.result(ticket)
+
+    def cancel(self, ticket: int) -> bool:
+        return self._connection.server.cancel(ticket)
+
+    def forget(self, ticket: int) -> bool:
+        return self._connection.server.forget(ticket)
+
+    def execute(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+    ) -> QueryResult:
+        conn = self._connection
+        parsed = conn._resolve_query(operation, parameters)
+        return conn.server.execute(
+            parsed,
+            engine=engine,
+            profile=profile,
+            config=config or conn.config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+        )
+
+    # -- schema and transactions ----------------------------------------
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool
+    ) -> Table:
+        conn = self._connection
+        conn._before_mutation()
+        table = Table(name, columns)
+        conn.catalog.add_table(table, replace=replace)
+        conn._invalidate()
+        return table
+
+    def add_table(self, table: Table, *, replace: bool) -> None:
+        conn = self._connection
+        conn._before_mutation()
+        conn.catalog.add_table(table, replace=replace)
+        conn._invalidate()
+
+    def drop_table(self, name: str) -> None:
+        conn = self._connection
+        conn._before_mutation()
+        conn.catalog.drop_table(name)
+        conn._invalidate()
+
+    def load_csv(
+        self, path: str | Path, table_name: str | None, *, replace: bool
+    ) -> Table:
+        conn = self._connection
+        conn._before_mutation()
+        table = load_csv(path, table_name)
+        conn.catalog.add_table(table, replace=replace)
+        conn._invalidate()
+        return table
+
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        cost: int,
+        selectivity_hint: float,
+        replace: bool,
+    ) -> None:
+        conn = self._connection
+        conn._before_mutation()
+        conn.udfs.register(
+            name, function, cost=cost, selectivity_hint=selectivity_hint, replace=replace
+        )
+        conn._invalidate()
+
+    def commit(self) -> None:
+        conn = self._connection
+        conn._txn_tables = None
+        conn._txn_udfs = None
+
+    def rollback(self) -> None:
+        conn = self._connection
+        if conn._txn_tables is not None:
+            conn.catalog.restore(conn._txn_tables)
+            assert conn._txn_udfs is not None
+            conn.udfs.restore(conn._txn_udfs)
+            conn._txn_tables = None
+            conn._txn_udfs = None
+            conn._invalidate()
+
+    # -- lifecycle and health -------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return self._connection.server.stats()
+
+    def close(self) -> None:
+        pass  # nothing beyond the connection's own state to release

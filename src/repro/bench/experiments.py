@@ -19,6 +19,7 @@ from repro.bench.experiments_figures import (
 )
 from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
+from repro.bench.experiments_server import multitenant_server
 from repro.bench.experiments_serving import concurrent_serving
 from repro.bench.experiments_streaming import streaming_cursor
 from repro.bench.experiments_tables import (
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "figure12": figure12,
     "figure13": figure13,
     "concurrent_serving": concurrent_serving,
+    "multitenant_server": multitenant_server,
     "hashjoin_kernel": hashjoin_kernel,
     "postprocess_pipeline": postprocess_pipeline,
     "streaming_cursor": streaming_cursor,

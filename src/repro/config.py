@@ -88,6 +88,24 @@ class SkinnerConfig:
     serving_warm_start_visits:
         Pseudo-visits credited per seeded join order; small values let a
         stale prior decay quickly once real rewards arrive.
+    serving_grant_wall_ms:
+        Wall-clock budget of one scheduling grant in milliseconds, layered
+        on top of the work-unit quantum: a grant ends after
+        ``serving_quantum_episodes`` episodes *or* when the budget elapses,
+        whichever comes first.  ``0`` (the default) disables the wall-clock
+        bound, keeping grant boundaries a pure function of the
+        deterministic work-unit clock.
+    serving_tenant_backlog:
+        Per-tenant backpressure bound of the network front door
+        (:mod:`repro.net`): while a tenant has this many submissions not
+        yet in a terminal state, the server stops reading that tenant's
+        socket, so TCP flow control pushes back on the client.
+    serving_limit_pushdown:
+        Whether streamed plain select-project-join queries with a ``LIMIT``
+        stop executing once the limit is reached: the session completes
+        early with the first ``LIMIT`` rows in materialization order and
+        releases its admission slot.  Disable to always run such queries to
+        completion (the canonical row order the result cache stores).
     """
 
     slice_budget: int = 500
@@ -110,6 +128,9 @@ class SkinnerConfig:
     serving_order_cache_size: int = 128
     serving_warm_start: bool = True
     serving_warm_start_visits: int = 8
+    serving_grant_wall_ms: float = 0.0
+    serving_tenant_backlog: int = 8
+    serving_limit_pushdown: bool = True
 
     def with_overrides(self, **kwargs) -> "SkinnerConfig":
         """Return a copy with the given fields replaced."""

@@ -36,6 +36,7 @@ Table(...)
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
@@ -232,6 +233,14 @@ class SkinnerDB:
     ) -> QueryResult:
         """Execute a query on a directly constructed engine (no serving layer).
 
+        .. deprecated:: 1.1
+            The bespoke direct path predates the engine registry and the
+            serving layer; use ``cursor.execute(..., engine=...)`` (or
+            :meth:`execute` with ``use_result_cache=False``) instead, which
+            resolves the same registry and works over remote connections
+            too.  Scheduled for removal once the remaining A/B comparisons
+            migrate.
+
         This is the pre-serving code path, kept for A/B comparisons and for
         callers that want to bypass admission control and the caches; it
         accepts the same arguments as :meth:`execute` (minus the cache
@@ -239,6 +248,12 @@ class SkinnerDB:
         the same registry as :meth:`execute`, so both paths reject unknown
         engines with the identical error.
         """
+        warnings.warn(
+            "SkinnerDB.execute_direct is deprecated; use "
+            "cursor.execute(..., engine=...) via the engine registry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._connection.execute_direct(
             query,
             engine=engine,

@@ -58,3 +58,22 @@ class BudgetExceeded(ReproError):
 
 class UnsupportedQueryError(ReproError):
     """The query uses a feature the chosen engine does not support."""
+
+
+class InterfaceError(ReproError):
+    """The database interface was misused (PEP 249's interface error).
+
+    Raised for client-side protocol violations: operating on a closed
+    connection or cursor, fetching before ``execute()``, or requesting a
+    capability the connection's transport does not provide (e.g. registering
+    a Python UDF over a remote connection).
+    """
+
+
+class OperationalError(ReproError):
+    """A database operation failed for reasons outside the caller's control.
+
+    Raised by the remote transport for lost connections, handshake or
+    framing violations, request timeouts, and server-side failures that do
+    not map onto a more specific :class:`ReproError` subclass.
+    """

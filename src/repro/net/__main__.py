@@ -1,0 +1,85 @@
+"""Standalone server entry point: ``python -m repro.net``.
+
+Starts a :class:`~repro.net.server.ReproServer` on the given address and
+serves until SIGTERM or SIGINT, then shuts down cleanly (stops listening,
+ends the episode pump, drops client sockets) and exits 0 — the CI smoke
+job asserts exactly this contract.
+
+``--demo-data`` seeds the quickstart's movie-rental schema so a fresh
+server is immediately queryable::
+
+    python -m repro.net --port 7439 --demo-data &
+    python examples/remote_quickstart.py --dsn repro://127.0.0.1:7439/
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.api.connection import connect
+from repro.net.client import DEFAULT_PORT
+from repro.net.server import ReproServer
+
+
+def seed_demo_data(connection) -> None:
+    """The quickstart's movie-rental schema (films/rentals/customers)."""
+    connection.create_table("films", {
+        "fid": [1, 2, 3, 4, 5, 6],
+        "title": ["heat", "alien", "brazil", "clue", "diva", "eden"],
+        "year": [1995, 1979, 1985, 1985, 1981, 1996],
+        "genre": ["crime", "scifi", "scifi", "comedy", "crime", "drama"],
+    })
+    connection.create_table("rentals", {
+        "rid": list(range(1, 11)),
+        "fid": [1, 1, 2, 3, 3, 3, 4, 5, 6, 6],
+        "price": [4, 3, 5, 2, 2, 3, 1, 4, 2, 2],
+    })
+    connection.create_table("customers", {
+        "rid": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        "segment": ["gold", "gold", "silver", "silver", "gold",
+                    "bronze", "silver", "gold", "bronze", "gold"],
+    })
+    connection.commit()
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    connection = connect()
+    if args.demo_data:
+        seed_demo_data(connection)
+    server = ReproServer(connection, host=args.host, port=args.port)
+    await server.start()
+    print(f"repro server listening on {server.dsn}", flush=True)
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    print("repro server shutting down", flush=True)
+    await server.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Serve the repro wire protocol over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"listen port (default {DEFAULT_PORT}; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--demo-data", action="store_true",
+        help="seed the quickstart schema before serving",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

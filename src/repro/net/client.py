@@ -1,0 +1,386 @@
+"""The remote transport: a blocking socket client for the wire protocol.
+
+``connect("repro://host:port/?tenant=...")`` resolves here.  The client is
+deliberately synchronous — the PEP 249 surface is blocking, so the
+transport is one :class:`SocketChannel` issuing strictly ordered
+request/response exchanges under a lock (thread-safe, like the local
+transport's cooperative driving).  Long waits are server-side: a ``fetch``
+or ``result`` request parks in the server's event loop until rows exist,
+so the client needs no polling loop and no timeout by default (pass
+``timeout=`` seconds to bound every exchange instead).
+
+Capability limits of the wire (both raise
+:class:`~repro.errors.InterfaceError` client-side, before any bytes are
+sent): prebuilt :class:`~repro.query.query.Query` objects cannot be
+submitted (SQL text travels; the server parses against *its* catalog), and
+Python UDFs cannot be registered.  CSV loads read the file client-side and
+ship the parsed columns.
+
+Lost connections, framing violations, timeouts, and unknown server errors
+surface as :class:`~repro.errors.OperationalError`; typed engine errors
+(parse, catalog, budget, ...) are reconstructed as their original classes
+by :func:`repro.net.protocol.error_from_wire`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import socket
+import threading
+from collections.abc import Callable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.transport import SubmitHandle, Transport
+from repro.config import SkinnerConfig
+from repro.errors import InterfaceError, OperationalError
+from repro.net.protocol import (
+    LENGTH_PREFIX,
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    error_from_wire,
+    result_from_wire,
+)
+from repro.result import QueryResult
+from repro.storage.loader import load_csv as _load_csv_file
+from repro.storage.table import Table
+
+#: Default TCP port of ``python -m repro.net`` (and DSNs without a port).
+DEFAULT_PORT = 7439
+
+
+def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None]:
+    """Parse ``repro://host:port/?tenant=name&timeout=seconds``.
+
+    Returns ``(host, port, tenant, timeout)`` with ``None`` for parameters
+    the DSN does not set.  Unknown query parameters are rejected — a typo
+    in ``tenant`` would otherwise silently land the client in the default
+    quota bucket.
+    """
+    parts = urlsplit(dsn)
+    if parts.scheme != "repro":
+        raise InterfaceError(f"DSN scheme must be repro://, got {dsn!r}")
+    if parts.path not in ("", "/"):
+        raise InterfaceError(f"DSN has no path component, got {parts.path!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port if parts.port is not None else DEFAULT_PORT
+    params = parse_qs(parts.query, keep_blank_values=True)
+    unknown = set(params) - {"tenant", "timeout"}
+    if unknown:
+        raise InterfaceError(f"unknown DSN parameter(s): {', '.join(sorted(unknown))}")
+    tenant = params["tenant"][0] if "tenant" in params else None
+    timeout: float | None = None
+    if "timeout" in params:
+        try:
+            timeout = float(params["timeout"][0])
+        except ValueError:
+            raise InterfaceError(
+                f"DSN timeout must be a number of seconds, got {params['timeout'][0]!r}"
+            ) from None
+    return host, port, tenant, timeout
+
+
+class SocketChannel:
+    """One blocking protocol connection: framed, lock-serialized exchanges."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        timeout: float | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise OperationalError(f"cannot connect to {host}:{port}: {exc}") from None
+        # TCP_NODELAY: every exchange is one small frame each way; Nagle
+        # would add 40ms to each request under load.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = self.request("hello", version=PROTOCOL_VERSION, tenant=tenant)
+        self.tenant: str = str(hello.get("tenant", tenant))
+
+    def request(self, verb: str, **args: Any) -> dict[str, Any]:
+        """One request/response exchange; returns the response data."""
+        with self._lock:
+            if self._closed:
+                raise InterfaceError("connection is closed")
+            request_id = next(self._seq)
+            frame = encode_frame({"v": verb, "id": request_id, "args": args})
+            try:
+                self._sock.sendall(frame)
+                response = self._read_frame()
+            except socket.timeout:
+                self._teardown()
+                raise OperationalError(f"request {verb!r} timed out") from None
+            except OSError as exc:
+                self._teardown()
+                raise OperationalError(f"connection lost during {verb!r}: {exc}") from None
+        if response.get("id") != request_id:
+            self.close()
+            raise OperationalError(
+                f"response id {response.get('id')!r} does not match request {request_id}"
+            )
+        if response.get("ok"):
+            data = response.get("data")
+            return data if isinstance(data, dict) else {}
+        raise error_from_wire(response.get("error") or {})
+
+    def _read_frame(self) -> dict[str, Any]:
+        prefix = self._recv_exact(LENGTH_PREFIX.size)
+        (length,) = LENGTH_PREFIX.unpack(prefix)
+        if length > MAX_FRAME:
+            raise FrameError(f"announced frame of {length} bytes exceeds MAX_FRAME")
+        return decode_payload(self._recv_exact(length))
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = self._sock.recv(count - len(chunks))
+            if not chunk:
+                self._teardown()
+                raise OperationalError("server closed the connection")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def _teardown(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        with self._lock:
+            if not self._closed:
+                self._teardown()
+
+
+class RemoteTransport(Transport):
+    """The :class:`Transport` over a :class:`SocketChannel`.
+
+    Construct via :func:`from_dsn` (what ``connect()`` does) — the
+    positional form exists for tests that already know host and port.
+    """
+
+    remote = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int = DEFAULT_PORT,
+        *,
+        tenant: str = "default",
+        timeout: float | None = None,
+    ) -> None:
+        self._channel = SocketChannel(host, port, tenant=tenant, timeout=timeout)
+        self.tenant = self._channel.tenant
+
+    @classmethod
+    def from_dsn(
+        cls,
+        dsn: str,
+        *,
+        tenant: str | None = None,
+        timeout: float | None = None,
+    ) -> RemoteTransport:
+        """Resolve a ``repro://`` DSN; keyword arguments win over the DSN's."""
+        host, port, dsn_tenant, dsn_timeout = parse_dsn(dsn)
+        return cls(
+            host,
+            port,
+            tenant=tenant if tenant is not None else (dsn_tenant or "default"),
+            timeout=timeout if timeout is not None else dsn_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # argument marshalling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sql_text(operation: str | Any) -> str:
+        if not isinstance(operation, str):
+            raise InterfaceError(
+                "a remote connection takes SQL text only; prebuilt Query "
+                "objects cannot cross the wire (the server parses against "
+                "its own catalog)"
+            )
+        return operation
+
+    @staticmethod
+    def _wire_params(
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+    ) -> list[Any] | dict[str, Any] | None:
+        if parameters is None:
+            return None
+        if isinstance(parameters, Mapping):
+            return dict(parameters)
+        return list(parameters)
+
+    @staticmethod
+    def _wire_config(config: SkinnerConfig | None) -> dict[str, Any] | None:
+        # None means "use the server's default config" — the client never
+        # implicitly overrides server-side settings (byte-identity with
+        # in-process runs against the same server config depends on this).
+        return dataclasses.asdict(config) if config is not None else None
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+        weight: float,
+        priority: int,
+        stream: bool = True,
+    ) -> SubmitHandle:
+        data = self._channel.request(
+            "submit",
+            sql=self._sql_text(operation),
+            params=self._wire_params(parameters),
+            engine=engine,
+            profile=profile,
+            config=self._wire_config(config),
+            threads=threads,
+            forced_order=list(forced_order) if forced_order is not None else None,
+            use_result_cache=use_result_cache,
+            weight=weight,
+            priority=priority,
+            stream=stream,
+        )
+        return SubmitHandle(int(data["ticket"]), tuple(data["columns"]))
+
+    def fetch(self, ticket: int, max_rows: int | None) -> list[tuple[Any, ...]]:
+        data = self._channel.request("fetch", ticket=ticket, max_rows=max_rows)
+        return [tuple(row) for row in data["rows"]]
+
+    def poll(self, ticket: int) -> dict[str, Any]:
+        return self._channel.request("poll", ticket=ticket)
+
+    def result(self, ticket: int) -> QueryResult:
+        return result_from_wire(self._channel.request("result", ticket=ticket))
+
+    def cancel(self, ticket: int) -> bool:
+        return bool(self._channel.request("cancel", ticket=ticket).get("cancelled"))
+
+    def forget(self, ticket: int) -> bool:
+        return bool(self._channel.request("forget", ticket=ticket).get("forgotten"))
+
+    def execute(
+        self,
+        operation: str | Any,
+        parameters: Sequence[Any] | Mapping[str, Any] | None,
+        *,
+        engine: str,
+        profile: str,
+        config: SkinnerConfig | None,
+        threads: int,
+        forced_order: Sequence[str] | None,
+        use_result_cache: bool,
+    ) -> QueryResult:
+        handle = self.submit(
+            operation,
+            parameters,
+            engine=engine,
+            profile=profile,
+            config=config,
+            threads=threads,
+            forced_order=forced_order,
+            use_result_cache=use_result_cache,
+            weight=1.0,
+            priority=0,
+            stream=False,
+        )
+        try:
+            return self.result(handle.ticket)
+        finally:
+            try:
+                self.forget(handle.ticket)
+            except OperationalError:
+                pass  # the wire died after the result round trip
+
+    # ------------------------------------------------------------------
+    # schema and transactions
+    # ------------------------------------------------------------------
+    def _ship_table(self, table: Table, *, replace: bool) -> None:
+        columns = {
+            name: table.column(name).values() for name in table.column_names
+        }
+        self._channel.request(
+            "create_table", name=table.name, columns=columns, replace=replace
+        )
+
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any]], *, replace: bool
+    ) -> Table:
+        table = Table(name, {key: list(values) for key, values in columns.items()})
+        self._ship_table(table, replace=replace)
+        return table
+
+    def add_table(self, table: Table, *, replace: bool) -> None:
+        self._ship_table(table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self._channel.request("drop_table", name=name)
+
+    def load_csv(
+        self, path: str | Path, table_name: str | None, *, replace: bool
+    ) -> Table:
+        table = _load_csv_file(path, table_name)
+        self._ship_table(table, replace=replace)
+        return table
+
+    def register_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        cost: int,
+        selectivity_hint: float,
+        replace: bool,
+    ) -> None:
+        raise InterfaceError(
+            "Python UDFs cannot be registered over a remote connection; "
+            "register them on the server's own connection"
+        )
+
+    def commit(self) -> None:
+        self._channel.request("commit")
+
+    def rollback(self) -> None:
+        if not self._channel.closed:
+            self._channel.request("rollback")
+
+    # ------------------------------------------------------------------
+    # lifecycle and health
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return self._channel.request("stats")
+
+    def set_tenant_quota(self, tenant: str, share: float) -> None:
+        """Set a tenant's quota share on the server (admin verb)."""
+        self._channel.request("set_quota", tenant=tenant, share=share)
+
+    def close(self) -> None:
+        self._channel.close()

@@ -1,0 +1,472 @@
+"""The asyncio network front door over a :class:`QueryServer`.
+
+:class:`ReproServer` listens on TCP and serves the wire protocol of
+:mod:`repro.net.protocol` against one server-side in-process
+:class:`~repro.api.connection.Connection`.  The design keeps the serving
+layer's central invariant intact — all episodes still run on one thread:
+
+* a single **pump** coroutine calls ``QueryServer.step()`` while any
+  session is runnable (yielding to the event loop between grants, so
+  socket I/O interleaves with execution) and sleeps on a work event when
+  idle;
+* client handlers never execute queries; they translate verbs into
+  ``submit`` / ``poll`` / ``fetch(drive=False)`` calls and *wait on a
+  progress event* the pump sets after every grant — the asyncio
+  equivalent of the cooperative driving that in-process callers do;
+* **backpressure**: a handler stops reading its socket while its tenant's
+  backlog (non-terminal sessions) is at ``serving_tenant_backlog``, so a
+  flooding client is throttled by TCP flow control instead of growing an
+  unbounded server-side queue.  The gate sits *between* requests — the
+  previous response is always sent first — and sessions complete without
+  being fetched, so a gated tenant's backlog always drains;
+* **disconnect cleanup**: when a client's socket closes (EOF, reset, or a
+  framing violation), every non-terminal ticket that client submitted is
+  cancelled and forgotten, releasing its admission slot — a vanished
+  client cannot starve the tenants that stayed.
+
+:class:`ServerThread` hosts a server on a background thread with an
+ephemeral port for tests, benchmarks, and the self-contained quickstart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any
+
+from repro.api.connection import Connection, connect
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.errors import InterfaceError, OperationalError, ReproError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    encode_frame,
+    error_to_wire,
+    read_frame,
+    result_to_wire,
+)
+
+
+class _Client:
+    """Per-connection state: the handshaken tenant and owned tickets."""
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self.tenant = "default"
+        self.tickets: set[int] = set()
+
+
+class ReproServer:
+    """A TCP front door serving the wire protocol over one connection.
+
+    Parameters
+    ----------
+    connection:
+        The server-side :class:`Connection` holding the catalog and the
+        serving layer.  When omitted, a fresh local connection is created
+        from ``config``.
+    config:
+        Configuration for the implicit connection (ignored when
+        ``connection`` is given).  ``serving_tenant_backlog`` bounds each
+        tenant's non-terminal sessions before its sockets stop being read.
+    host, port:
+        Listen address; port 0 picks an ephemeral port (read back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        connection: Connection | None = None,
+        *,
+        config: SkinnerConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if connection is None:
+            connection = connect(config if config is not None else DEFAULT_CONFIG)
+        if connection.is_remote:
+            raise InterfaceError("a ReproServer needs a local connection to serve")
+        self.connection = connection
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._work: asyncio.Event = asyncio.Event()
+        self._progress: asyncio.Event = asyncio.Event()
+        self._stopping = False
+        self._clients: set[_Client] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the episode pump."""
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` then serve until cancelled or :meth:`stop`."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop listening, end the pump, and drop live client sockets."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self._work.set()
+        self._notify_progress()  # wake handlers blocked on fetch/backpressure
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pump_task is not None:
+            await self._pump_task
+        for writer in list(self._writers):
+            writer.close()
+
+    @property
+    def dsn(self) -> str:
+        """A DSN clients can :func:`repro.api.connect` with."""
+        return f"repro://{self.host}:{self.port}/"
+
+    # ------------------------------------------------------------------
+    # the episode pump
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        """Run scheduling grants while work exists; sleep on the work event.
+
+        Yielding after every grant keeps socket I/O responsive even under
+        sustained load — one grant is bounded by the work quantum and (when
+        configured) the wall-clock grant budget.
+        """
+        server = self.connection.server
+        while not self._stopping:
+            if server.step():
+                self._notify_progress()
+                await asyncio.sleep(0)
+            else:
+                self._work.clear()
+                # Re-check after clearing: a submit may have raced the clear.
+                if server.step():
+                    self._notify_progress()
+                    await asyncio.sleep(0)
+                    continue
+                if self._stopping:
+                    break
+                await self._work.wait()
+
+    def _notify_progress(self) -> None:
+        """Wake every coroutine waiting for serving-state changes."""
+        event, self._progress = self._progress, asyncio.Event()
+        event.set()
+
+    async def _await_progress(self) -> None:
+        """Park until the next grant/submission/cancellation, or shutdown."""
+        if self._stopping:
+            raise OperationalError("server is shutting down")
+        event = self._progress
+        self._work.set()
+        await event.wait()
+        if self._stopping:
+            raise OperationalError("server is shutting down")
+
+    # ------------------------------------------------------------------
+    # client handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        client = _Client(str(peername))
+        self._writers.add(writer)
+        try:
+            if not await self._handshake(client, reader, writer):
+                return
+            self._clients.add(client)
+            qs = self.connection.server
+            backlog_bound = max(1, self.connection.config.serving_tenant_backlog)
+            while not self._stopping:
+                # Backpressure: stop reading this tenant's socket while its
+                # backlog is full; TCP flow control throttles the client.
+                while qs.tenant_backlog(client.tenant) >= backlog_bound:
+                    await self._await_progress()
+                request = await read_frame(reader)
+                if request is None:
+                    return  # clean disconnect
+                await self._respond(client, writer, request)
+        except (FrameError, ConnectionResetError, BrokenPipeError, OperationalError):
+            return  # broken peer: cleanup below still runs
+        finally:
+            self._writers.discard(writer)
+            self._clients.discard(client)
+            self._abandon_client(client)
+            writer.close()
+
+    async def _handshake(
+        self, client: _Client, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """First exchange: protocol version check and tenant binding."""
+        request = await read_frame(reader)
+        if request is None:
+            return False
+        request_id = request.get("id")
+        if request.get("v") != "hello":
+            await self._write(
+                writer, request_id,
+                error=OperationalError("first request must be hello"),
+            )
+            return False
+        args = request.get("args") or {}
+        version = args.get("version")
+        if version != PROTOCOL_VERSION:
+            await self._write(
+                writer, request_id,
+                error=OperationalError(
+                    f"protocol version {version} unsupported (server speaks "
+                    f"{PROTOCOL_VERSION})"
+                ),
+            )
+            return False
+        client.tenant = str(args.get("tenant") or "default")
+        await self._write(
+            writer, request_id,
+            data={
+                "version": PROTOCOL_VERSION,
+                "tenant": client.tenant,
+                "server": "repro",
+            },
+        )
+        return True
+
+    async def _respond(
+        self, client: _Client, writer: asyncio.StreamWriter, request: dict[str, Any]
+    ) -> None:
+        request_id = request.get("id")
+        verb = request.get("v")
+        args = request.get("args") or {}
+        try:
+            data = await self._dispatch(client, str(verb), args)
+        except ReproError as exc:
+            await self._write(writer, request_id, error=exc)
+        except Exception as exc:  # noqa: BLE001 - a server bug becomes an
+            # OperationalError on the wire instead of killing the socket.
+            await self._write(writer, request_id, error=exc)
+        else:
+            await self._write(writer, request_id, data=data)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: Any,
+        *,
+        data: dict[str, Any] | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if error is not None:
+            payload = {"id": request_id, "ok": False, "error": error_to_wire(error)}
+        else:
+            payload = {"id": request_id, "ok": True, "data": data or {}}
+        writer.write(encode_frame(payload))
+        await writer.drain()
+
+    def _abandon_client(self, client: _Client) -> None:
+        """Cancel and forget every non-terminal ticket a client left behind."""
+        qs = self.connection.server
+        for ticket in sorted(client.tickets):
+            try:
+                qs.cancel(ticket)
+                qs.forget(ticket)
+            except ReproError:
+                pass  # already forgotten
+        client.tickets.clear()
+        self._notify_progress()
+        self._work.set()
+
+    # ------------------------------------------------------------------
+    # verb dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, client: _Client, verb: str, args: dict[str, Any]
+    ) -> dict[str, Any]:
+        handler = getattr(self, f"_verb_{verb}", None)
+        if handler is None:
+            raise OperationalError(f"unknown verb {verb!r}")
+        return await handler(client, args)
+
+    async def _verb_submit(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        conn = self.connection
+        parsed = conn.parse(str(args["sql"]), args.get("params"))
+        config = args.get("config")
+        forced = args.get("forced_order")
+        ticket = conn.server.submit(
+            parsed,
+            engine=args.get("engine", "skinner-c"),
+            profile=args.get("profile", "postgres"),
+            config=SkinnerConfig(**config) if config is not None else conn.config,
+            threads=int(args.get("threads", 1)),
+            forced_order=tuple(forced) if forced is not None else None,
+            use_result_cache=bool(args.get("use_result_cache", True)),
+            weight=float(args.get("weight", 1.0)),
+            priority=int(args.get("priority", 0)),
+            tenant=client.tenant,
+            stream=bool(args.get("stream", True)),
+        )
+        client.tickets.add(ticket)
+        self._work.set()
+        return {
+            "ticket": ticket,
+            "columns": list(parsed.output_names(conn.catalog)),
+        }
+
+    async def _verb_poll(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        return self.connection.server.poll(int(args["ticket"]))
+
+    async def _verb_fetch(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        """Next streamed batch; parks on the progress event until rows exist."""
+        qs = self.connection.server
+        ticket = int(args["ticket"])
+        max_rows = args.get("max_rows")
+        while True:
+            session = qs.session(ticket)  # unknown tickets raise here
+            if session.done or (session.stream is not None and len(session.stream)):
+                rows = qs.fetch(ticket, max_rows, drive=False)
+                return {"rows": [list(row) for row in rows]}
+            await self._await_progress()
+
+    async def _verb_result(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        """The completed result; parks until the session is terminal."""
+        qs = self.connection.server
+        ticket = int(args["ticket"])
+        while not qs.session(ticket).done:
+            await self._await_progress()
+        return result_to_wire(qs.result(ticket, drive=False))
+
+    async def _verb_cancel(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        cancelled = self.connection.server.cancel(int(args["ticket"]))
+        self._notify_progress()
+        self._work.set()
+        return {"cancelled": cancelled}
+
+    async def _verb_forget(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        ticket = int(args["ticket"])
+        forgotten = self.connection.server.forget(ticket)
+        client.tickets.discard(ticket)
+        return {"forgotten": forgotten}
+
+    async def _verb_create_table(
+        self, client: _Client, args: dict[str, Any]
+    ) -> dict[str, Any]:
+        table = self.connection.create_table(
+            str(args["name"]), args["columns"], replace=bool(args.get("replace", False))
+        )
+        return {"name": table.name, "rows": table.num_rows}
+
+    async def _verb_drop_table(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        self.connection.drop_table(str(args["name"]))
+        return {}
+
+    async def _verb_commit(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        self.connection.commit()
+        return {}
+
+    async def _verb_rollback(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        self.connection.rollback()
+        return {}
+
+    async def _verb_set_quota(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        self.connection.server.set_tenant_quota(
+            str(args["tenant"]), float(args["share"])
+        )
+        return {}
+
+    async def _verb_stats(self, client: _Client, args: dict[str, Any]) -> dict[str, Any]:
+        stats = self.connection.server.stats()
+        stats["clients"] = len(self._clients)
+        stats["uptime_seconds"] = time.monotonic() - self._started_at
+        stats["protocol_version"] = PROTOCOL_VERSION
+        return stats
+
+
+class ServerThread:
+    """A live :class:`ReproServer` on a daemon thread (tests, benchmarks).
+
+    >>> from repro.net.server import ServerThread  # doctest: +SKIP
+    >>> with ServerThread() as server:             # doctest: +SKIP
+    ...     conn = connect(server.dsn)
+    """
+
+    def __init__(
+        self,
+        connection: Connection | None = None,
+        *,
+        config: SkinnerConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = ReproServer(connection, config=config, host=host, port=port)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+        self._error: BaseException | None = None
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def start(self) -> ServerThread:
+        """Start the thread; returns once the socket is listening."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise OperationalError("server thread did not become ready")
+        if self._error is not None:
+            raise OperationalError(f"server thread failed: {self._error}")
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            assert self._stop_event is not None
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+
+    @property
+    def dsn(self) -> str:
+        """DSN of the live server (valid after :meth:`start`)."""
+        return self.server.dsn
+
+    @property
+    def connection(self) -> Connection:
+        """The server-side connection (seed schema through this)."""
+        return self.server.connection
+
+    def __enter__(self) -> ServerThread:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,26 +1,38 @@
-"""The fair episode scheduler: weighted stride scheduling with priorities.
+"""The fair episode scheduler: hierarchical stride scheduling with priorities.
 
 The scheduler decides which in-flight query runs its next episode.  It is a
-*stride* (virtual-time) scheduler over the deterministic work-unit clock:
+*stride* (virtual-time) scheduler over the deterministic work-unit clock,
+with two fairness layers:
 
-* every session keeps a **virtual time** — the work it has consumed divided
-  by its **weight**; after each episode the session is charged
-  ``consumed_work / weight``, so over any interval the work received by two
-  backlogged sessions is proportional to their weights;
-* **priority classes** are strict: a runnable session of a higher class
-  always runs before any session of a lower class (within a class, weighted
-  fairness applies);
-* a newly admitted session starts at the current class-local minimum
-  virtual time, so it neither gets a catch-up burst for time it was queued
-  nor starves existing sessions.
+* **tenants** divide the served work by their **quota shares**: every tenant
+  keeps a virtual time advanced by ``consumed_work / quota``, and among the
+  tenants with runnable sessions (in the winning priority class) the one
+  with the lowest tenant virtual time runs next.  Over any interval, two
+  backlogged tenants receive work proportional to their quotas — a heavy
+  tenant flooding the server with sessions cannot push a light tenant
+  beyond its quota-implied share;
+* **sessions** within a tenant keep the classic per-session virtual time —
+  the work a session has consumed divided by its **weight** — so a tenant's
+  share is split between its own sessions by their weights;
+* **priority classes** remain strict and global: a runnable session of a
+  higher class always runs before any session of a lower class (within a
+  class, the tenant layer then the weight layer apply).
+
+A newly admitted session starts at the current virtual-time minimum of its
+class (preferring same-tenant peers), so it neither gets a catch-up burst
+for time it was queued nor starves existing sessions; a tenant (re)entering
+the active set is aligned to the active tenants' minimum the same way.
 
 Everything is integer/float arithmetic over meter charges — no wall clock,
 no randomness — so a given submission sequence always produces the same
-episode interleaving, which the determinism tests rely on.
+episode interleaving, which the determinism tests rely on.  With a single
+tenant (the default) the tenant layer is inert and the schedule is
+identical to the pre-tenant scheduler.
 """
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 from repro.serving.session import QuerySession
 
 
@@ -29,6 +41,8 @@ class FairScheduler:
 
     def __init__(self) -> None:
         self._active: list[QuerySession] = []
+        self._quotas: dict[str, float] = {}
+        self._tenant_virtual: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -42,9 +56,30 @@ class FairScheduler:
         return len(self._active)
 
     def add(self, session: QuerySession) -> None:
-        """Admit a session, aligning its virtual time with its class."""
-        peers = [s.virtual_time for s in self._active if s.priority == session.priority]
+        """Admit a session, aligning its virtual time with its class.
+
+        The session starts at the minimum virtual time of its same-tenant
+        class peers (falling back to all class peers when its tenant has
+        none active); its tenant, if not already active, is aligned to the
+        minimum tenant virtual time the same way.
+        """
+        peers = [
+            s.virtual_time
+            for s in self._active
+            if s.priority == session.priority and s.tenant == session.tenant
+        ]
+        if not peers:
+            peers = [s.virtual_time for s in self._active if s.priority == session.priority]
         session.virtual_time = min(peers) if peers else 0.0
+        active_tenants = {s.tenant for s in self._active}
+        if session.tenant not in active_tenants:
+            floor = min(
+                (self._tenant_virtual.get(t, 0.0) for t in active_tenants),
+                default=0.0,
+            )
+            self._tenant_virtual[session.tenant] = max(
+                self._tenant_virtual.get(session.tenant, 0.0), floor
+            )
         self._active.append(session)
 
     def remove(self, session: QuerySession) -> None:
@@ -57,27 +92,57 @@ class FairScheduler:
             self._active.remove(session)
 
     # ------------------------------------------------------------------
+    # tenant quotas
+    # ------------------------------------------------------------------
+    def set_quota(self, tenant: str, share: float) -> None:
+        """Set a tenant's quota share (relative, like session weights)."""
+        if share <= 0:
+            raise ReproError("tenant quota share must be positive")
+        self._quotas[tenant] = float(share)
+
+    def quota(self, tenant: str) -> float:
+        """A tenant's quota share (1.0 unless set)."""
+        return self._quotas.get(tenant, 1.0)
+
+    @property
+    def tenant_virtual_times(self) -> dict[str, float]:
+        """Tenant-level virtual clocks (inspection and metrics)."""
+        return dict(self._tenant_virtual)
+
+    # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def pick(self) -> QuerySession | None:
-        """The next session to run: highest priority class, lowest virtual time.
+        """The next session to run.
 
-        Ties break on the submission ticket, so the schedule is a pure
-        function of the submission sequence and the per-episode charges.
+        Selection is hierarchical: highest priority class, then the tenant
+        with the lowest tenant virtual time among that class's runnable
+        tenants, then the session with the lowest virtual time within that
+        tenant.  Ties break on tenant name and submission ticket, so the
+        schedule is a pure function of the submission sequence and the
+        per-episode charges.
         """
         if not self._active:
             return None
-        return min(
-            self._active,
-            key=lambda s: (-s.priority, s.virtual_time, s.ticket),
-        )
+        top = max(s.priority for s in self._active)
+        candidates = [s for s in self._active if s.priority == top]
+        tenants = {s.tenant for s in candidates}
+        if len(tenants) > 1:
+            winner = min(tenants, key=lambda t: (self._tenant_virtual.get(t, 0.0), t))
+            candidates = [s for s in candidates if s.tenant == winner]
+        return min(candidates, key=lambda s: (s.virtual_time, s.ticket))
 
     def charge(self, session: QuerySession, consumed: int) -> None:
-        """Advance a session's virtual time by its weighted episode charge.
+        """Advance both stride layers by the session's episode charge.
 
         Episodes that consumed no measurable work still advance virtual time
         by one unit, so a session whose episodes are all no-ops cannot pin
-        the scheduler.
+        the scheduler; the same floor applies to the tenant clock.
         """
+        charged = max(consumed, 1)
         weight = max(session.weight, 1e-9)
-        session.virtual_time += max(consumed, 1) / weight
+        session.virtual_time += charged / weight
+        share = max(self.quota(session.tenant), 1e-9)
+        self._tenant_virtual[session.tenant] = (
+            self._tenant_virtual.get(session.tenant, 0.0) + charged / share
+        )

@@ -25,6 +25,7 @@ threads — determinism is the feature the tests and benchmarks lean on.
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import replace
 from typing import Any
@@ -44,7 +45,7 @@ from repro.optimizer.statistics import StatisticsCatalog
 from repro.query.parser import parse_query
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
-from repro.result import QueryResult
+from repro.result import QueryMetrics, QueryResult
 from repro.serving.admission import AdmissionController
 from repro.serving.cache import (
     JoinOrderCache,
@@ -67,22 +68,22 @@ SERVABLE_ENGINES = RegistryNames(DEFAULT_REGISTRY)
 _PRIOR_ORDERS = 3
 
 
-def _stream_eligible(query: Query) -> bool:
+def _stream_eligible(query: Query, *, allow_limit: bool = False) -> bool:
     """Whether a query's rows can be delivered before the join completes.
 
-    Aggregation, GROUP BY, ORDER BY, DISTINCT, and LIMIT are *blocking*:
-    their output depends on the complete join result, so those queries
-    deliver at completion.  Plain select-project-join output rows map 1:1
-    onto result tuples and stream as the tuples materialize (the result
-    set's duplicate elimination guarantees each row is delivered once).
+    Aggregation, GROUP BY, ORDER BY, and DISTINCT are *blocking*: their
+    output depends on the complete join result, so those queries deliver at
+    completion.  Plain select-project-join output rows map 1:1 onto result
+    tuples and stream as the tuples materialize (the result set's duplicate
+    elimination guarantees each row is delivered once).  A bare ``LIMIT``
+    on such a query streams only when the caller opts into push-down
+    (``allow_limit``): any ``LIMIT`` rows are a valid answer, but a
+    truncated stream is a prefix of the materialization order rather than
+    the canonical completion order.
     """
-    return not (
-        query.has_aggregates
-        or query.group_by
-        or query.order_by
-        or query.distinct
-        or query.limit is not None
-    )
+    if query.has_aggregates or query.group_by or query.order_by or query.distinct:
+        return False
+    return query.limit is None or allow_limit
 
 
 class QueryServer:
@@ -136,6 +137,12 @@ class QueryServer:
         self.result_cache = ResultCache(config.serving_result_cache_size)
         self.order_cache = JoinOrderCache(config.serving_order_cache_size)
         self._completed = 0
+        #: Work units charged per tenant (survives ``forget``); feeds the
+        #: per-tenant grant shares of :meth:`stats`.
+        self._tenant_work: dict[str, int] = {}
+        #: Wall-clock seconds spent inside scheduling grants — the
+        #: reference-time companion of the deterministic work ledger.
+        self._grant_wall_seconds = 0.0
 
     # ------------------------------------------------------------------
     # submission API
@@ -151,6 +158,7 @@ class QueryServer:
         forced_order: Sequence[str] | None = None,
         weight: float = 1.0,
         priority: int = 0,
+        tenant: str = "default",
         use_result_cache: bool = True,
         stream: bool = False,
     ) -> int:
@@ -158,13 +166,14 @@ class QueryServer:
 
         ``weight`` scales the session's fair share of episodes (2.0 gets
         roughly twice the work rate of 1.0); ``priority`` selects the strict
-        priority class (higher runs first).  ``use_result_cache=False``
-        skips the cache *lookup* for this submission (the finished result is
-        still stored for later submissions).  ``stream=True`` buffers result
-        rows for incremental delivery through :meth:`fetch`: when the engine
-        and query shape allow it, completed batches become fetchable while
-        the query is still executing; otherwise all rows become fetchable at
-        completion.
+        priority class (higher runs first); ``tenant`` names the quota
+        bucket the work is accounted to (see :meth:`set_tenant_quota`).
+        ``use_result_cache=False`` skips the cache *lookup* for this
+        submission (the finished result is still stored for later
+        submissions).  ``stream=True`` buffers result rows for incremental
+        delivery through :meth:`fetch`: when the engine and query shape
+        allow it, completed batches become fetchable while the query is
+        still executing; otherwise all rows become fetchable at completion.
         """
         engine = engine.lower()
         spec = self._registry.resolve(engine)
@@ -188,6 +197,7 @@ class QueryServer:
             forced_order=tuple(forced_order) if forced_order is not None else None,
             weight=weight,
             priority=priority,
+            tenant=tenant,
             fingerprint=fingerprint,
             stream_requested=stream,
         )
@@ -214,11 +224,14 @@ class QueryServer:
             "ticket": ticket,
             "state": session.state.value,
             "engine": session.engine,
+            "tenant": session.tenant,
             "episodes": session.episodes,
             "work_done": self.ledger.total(ticket),
             "queue_position": self._admission.queue_position(session),
             "cache_hit": session.cache_hit,
         }
+        if session.state is SessionState.FINISHED and session.result is not None:
+            snapshot["result_rows"] = session.result.table.num_rows
         if session.stream is not None:
             snapshot["stream"] = {
                 "names": session.stream.names,
@@ -242,8 +255,9 @@ class QueryServer:
 
         Rows stream *before completion* when the engine's registry spec is
         ``streamable`` and the query has no blocking post-processing
-        (aggregation, GROUP BY, ORDER BY, DISTINCT, LIMIT); otherwise the
-        buffer fills when the query completes.
+        (aggregation, GROUP BY, ORDER BY, DISTINCT); a plain LIMIT is
+        pushed into the stream (the session completes early once the limit
+        is filled); otherwise the buffer fills when the query completes.
         """
         session = self._session(ticket)
         if not session.stream_requested:
@@ -315,7 +329,12 @@ class QueryServer:
     def step(self) -> bool:
         """Run one scheduling grant (up to ``serving_quantum_episodes``).
 
-        Returns ``False`` when no session is runnable (the server is idle).
+        A grant is bounded by the work-unit quantum and — when
+        ``serving_grant_wall_ms`` is set — by wall-clock time: it ends
+        after the configured number of episodes or once the wall budget
+        elapses, whichever comes first, so a slow episode stream cannot
+        monopolize the thread between scheduling decisions.  Returns
+        ``False`` when no session is runnable (the server is idle).
         """
         session = self._scheduler.pick()
         if session is None:
@@ -323,13 +342,22 @@ class QueryServer:
         task = session.task
         assert task is not None
         before = session.work_total()
+        grant_started = time.perf_counter()
+        wall_budget = self._config.serving_grant_wall_ms / 1000.0
         try:
             for _ in range(max(1, self._config.serving_quantum_episodes)):
                 session.episodes += 1
                 if task.run_episode():
                     break
+                if wall_budget > 0.0 and time.perf_counter() - grant_started >= wall_budget:
+                    break
+            elapsed = time.perf_counter() - grant_started
+            session.wall_seconds += elapsed
+            self._grant_wall_seconds += elapsed
             self._account(session, session.work_total() - before)
             self._pump_stream(session)
+            if session.done:
+                return True  # LIMIT push-down completed the session early
             if task.finished:
                 self._complete(session)
         except Exception as error:  # noqa: BLE001 - one bad query must not
@@ -409,6 +437,8 @@ class QueryServer:
             "inflight": len(self._admission.inflight),
             "queued": len(self._admission.queued),
             "work_total": self.ledger.grand_total(),
+            "grant_wall_seconds": self._grant_wall_seconds,
+            "tenants": self.tenant_stats(),
             "result_cache": {
                 "entries": len(self.result_cache),
                 "hits": self.result_cache.hits,
@@ -420,6 +450,54 @@ class QueryServer:
                 "misses": self.order_cache.misses,
             },
         }
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    def set_tenant_quota(self, tenant: str, share: float) -> None:
+        """Set a tenant's fair-share quota (relative; unset tenants get 1.0).
+
+        Quotas divide served work *between* tenants before per-session
+        weights divide a tenant's share between its own sessions — a heavy
+        tenant flooding the server cannot push a light tenant beyond its
+        quota-implied share of the work clock.
+        """
+        self._scheduler.set_quota(tenant, share)
+
+    def tenant_backlog(self, tenant: str) -> int:
+        """Number of a tenant's submissions not yet in a terminal state.
+
+        The network front door reads this to apply backpressure: while a
+        tenant's backlog is at the configured bound, its socket is not
+        read, so admission pressure propagates to the client as TCP flow
+        control instead of an unbounded server-side queue.
+        """
+        return sum(
+            1
+            for session in self._sessions.values()
+            if session.tenant == tenant and not session.done
+        )
+
+    def tenant_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant load and grant shares (the metrics verb's payload)."""
+        tenants: set[str] = set(self._tenant_work)
+        tenants.update(session.tenant for session in self._sessions.values())
+        total_work = sum(self._tenant_work.values())
+        inflight = self._admission.inflight
+        report: dict[str, dict[str, Any]] = {}
+        for tenant in sorted(tenants):
+            work = self._tenant_work.get(tenant, 0)
+            sessions = [s for s in self._sessions.values() if s.tenant == tenant]
+            report[tenant] = {
+                "work": work,
+                "grant_share": (work / total_work) if total_work else 0.0,
+                "quota": self._scheduler.quota(tenant),
+                "backlog": sum(1 for s in sessions if not s.done),
+                "queued": sum(1 for s in sessions if s.state is SessionState.QUEUED),
+                "inflight": sum(1 for s in sessions if s in inflight),
+                "wall_seconds": sum(s.wall_seconds for s in sessions),
+            }
+        return report
 
     def session(self, ticket: int) -> QuerySession:
         """The session object behind a ticket (inspection and tests)."""
@@ -450,11 +528,18 @@ class QueryServer:
         task = session.task
         if (
             spec.streamable
-            and _stream_eligible(session.query)
+            and _stream_eligible(
+                session.query, allow_limit=session.config.serving_limit_pushdown
+            )
             and hasattr(task, "enable_streaming")
         ):
             task.enable_streaming()
             session.stream.incremental = True
+            if session.query.limit is not None:
+                # LIMIT push-down: deliver the first `limit` materialized
+                # rows and stop scheduling the session once they exist.
+                session.limit_remaining = session.query.limit
+                session.stream.keep_journal = True
 
     def _pump_stream(self, session: QuerySession) -> None:
         """Move tuples the last grant materialized into the stream buffer.
@@ -468,6 +553,9 @@ class QueryServer:
         task = session.task
         if buffer is None or not buffer.incremental or task is None:
             return
+        if session.limit_remaining is not None and session.limit_remaining <= 0:
+            self._finish_limited(session)
+            return
         fresh = task.drain_new_tuples()
         if not fresh:
             return
@@ -476,7 +564,13 @@ class QueryServer:
             session.query, relation, task.stream_tables, self._udfs, CostMeter(),
             mode=session.config.postprocess_mode,
         )
-        buffer.push(self._table_rows(table), self.ledger.grand_total())
+        rows = self._table_rows(table)
+        if session.limit_remaining is not None:
+            rows = rows[: session.limit_remaining]
+            session.limit_remaining -= len(rows)
+        buffer.push(rows, self.ledger.grand_total())
+        if session.limit_remaining is not None and session.limit_remaining <= 0:
+            self._finish_limited(session)
 
     def _deliver_result_rows(self, session: QuerySession, result: QueryResult) -> None:
         """Completion-time delivery: the final table becomes the buffer."""
@@ -556,6 +650,9 @@ class QueryServer:
 
     def _account(self, session: QuerySession, consumed: int) -> None:
         self.ledger.record(session.ticket, consumed)
+        self._tenant_work[session.tenant] = (
+            self._tenant_work.get(session.tenant, 0) + consumed
+        )
         self._scheduler.charge(session, consumed)
 
     def _complete(self, session: QuerySession) -> None:
@@ -610,6 +707,44 @@ class QueryServer:
         # order until enough real evidence dilutes the seed.
         priors = [(order, count / total, count) for order, count in top]
         self.order_cache.record(join_graph_signature(session.query), priors)
+
+    def _finish_limited(self, session: QuerySession) -> None:
+        """Complete a streamed LIMIT query early: its owed rows all exist.
+
+        The session's result is the journaled stream — the first ``LIMIT``
+        rows in materialization order, a valid answer for a bare
+        select-project-join LIMIT query, but *not* the canonical
+        completion-ordered rows a full run produces — so the result is
+        never stored in the result cache and no join-order priors are
+        recorded (the UCT tree only saw a truncated run).  The scheduler
+        and admission slots are released immediately: this is the whole
+        point of the push-down — no budget is burned on rows nobody will
+        fetch.
+        """
+        task = session.task
+        buffer = session.stream
+        assert task is not None and buffer is not None
+        # Duplicate output names collapse to one dict-keyed column in a full
+        # run's result table, and the streamed rows are already that width —
+        # pair the journal with the deduplicated names (first occurrence
+        # wins), exactly like the completion path.
+        names = list(dict.fromkeys(buffer.names))
+        table = Table.from_rows("result", names, buffer.journal)
+        if hasattr(task, "partial_metrics"):
+            metrics = task.partial_metrics(table.num_rows)
+        else:  # registry extensions without partial accounting
+            metrics = QueryMetrics(engine=session.engine, result_rows=table.num_rows)
+        metrics.extra["limit_pushdown"] = True
+        session.result = QueryResult(table, metrics)
+        residual = session.work_total() - self.ledger.total(session.ticket)
+        if residual > 0:
+            self._account(session, residual)
+        session.state = SessionState.FINISHED
+        session.completed_at_work = self.ledger.grand_total()
+        self._completed += 1
+        self._scheduler.discard(session)
+        session.task = None
+        self._admit_next(session)
 
     def _admit_next(self, session: QuerySession) -> None:
         admitted = self._admission.release(session)

@@ -75,6 +75,11 @@ class StreamBuffer:
         self.first_rows_at_work: int | None = None
         #: Whether rows arrive between episodes (True) or only at completion.
         self.incremental = False
+        #: When True every pushed row is also retained in :attr:`journal`
+        #: (consumed fetches included) — the LIMIT push-down path builds the
+        #: session's final result table from it.  Bounded by the limit.
+        self.keep_journal = False
+        self.journal: list[tuple[Any, ...]] = []
 
     def push(self, rows: Sequence[tuple[Any, ...]], clock: int) -> None:
         """Append a projected batch (``clock`` is the ledger grand total)."""
@@ -84,6 +89,8 @@ class StreamBuffer:
             self.first_rows_at_work = clock
         self._rows.extend(rows)
         self.rows_streamed += len(rows)
+        if self.keep_journal:
+            self.journal.extend(rows)
 
     def take(self, max_rows: int | None = None) -> list[tuple[Any, ...]]:
         """Remove and return up to ``max_rows`` buffered rows (FIFO)."""
@@ -123,6 +130,10 @@ class QuerySession:
     forced_order: tuple[str, ...] | None = None
     weight: float = 1.0
     priority: int = 0
+    #: Tenant the submission is accounted to; the scheduler's tenant-level
+    #: stride divides work between tenants by their quota shares before the
+    #: per-session weights divide a tenant's share between its sessions.
+    tenant: str = "default"
     fingerprint: str | None = None
     state: SessionState = SessionState.QUEUED
     task: EpisodeTask | None = None
@@ -140,6 +151,12 @@ class QuerySession:
     stream_requested: bool = False
     #: The live stream buffer (only for streaming-eligible submissions).
     stream: StreamBuffer | None = None
+    #: Rows still owed before a pushed-down LIMIT completes the session
+    #: early (``None`` when no push-down applies).
+    limit_remaining: int | None = None
+    #: Wall-clock seconds this session's grants spent executing episodes —
+    #: reference accounting next to the deterministic work-unit ledger.
+    wall_seconds: float = 0.0
 
     @property
     def done(self) -> bool:

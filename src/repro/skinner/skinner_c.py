@@ -109,6 +109,11 @@ class SkinnerCTask:
         self._rng = random.Random(config.seed)
         self._graph = query.join_graph()
         self.slices = 0
+        #: Wall-clock seconds spent inside :meth:`run_episode` — the
+        #: reference-time cost of this query's own episodes, free of the
+        #: scheduling gaps that inflate ``wall_time_seconds`` when the task
+        #: is interleaved with other queries.
+        self.episode_wall_seconds = 0.0
         self.trace_records: list[dict[str, Any]] = []
         self.finished = self.prepared.is_empty() or query.num_tables == 1
         if query.num_tables == 1 and not self.prepared.is_empty():
@@ -153,6 +158,7 @@ class SkinnerCTask:
         """Execute one time slice; returns ``True`` when the join finished."""
         if self.finished:
             return True
+        episode_started = time.perf_counter()
         self.slices += 1
         if self.slices > _MAX_SLICES:
             raise ExecutionError("Skinner-C exceeded the maximum number of time slices")
@@ -184,6 +190,7 @@ class SkinnerCTask:
                 {"slice": self.slices, "uct_nodes": self.tree.node_count(), "order": order}
             )
         self.finished = finished
+        self.episode_wall_seconds += time.perf_counter() - episode_started
         return finished
 
     def finalize(self) -> QueryResult:
@@ -220,9 +227,45 @@ class SkinnerCTask:
                 "top_orders": self.tree.top_orders(5),
                 "trace": self.trace_records,
                 "threads": self._threads,
+                "episode_wall_seconds": self.episode_wall_seconds,
             },
         )
         return QueryResult(output, metrics)
+
+    def partial_metrics(self, result_rows: int) -> QueryMetrics:
+        """Metrics for a LIMIT-truncated streamed result.
+
+        Used by the serving layer's LIMIT push-down: the task is abandoned
+        once the first ``LIMIT`` rows streamed, so there is no final
+        post-processing pass — the charges are whatever the executed
+        episode prefix cost, which is by construction no more than a full
+        run of the same query.
+        """
+        total_meter = CostMeter()
+        total_meter.merge(self.pre_meter)
+        total_meter.merge(self.join_meter)
+        simulated = self._profile.simulated_time(
+            self.pre_meter.snapshot(), threads=self._threads
+        ) + self._profile.simulated_time(self.join_meter.snapshot(), threads=1)
+        return QueryMetrics(
+            engine=self._engine_name,
+            work=total_meter.snapshot(),
+            simulated_time=simulated,
+            wall_time_seconds=time.perf_counter() - self._started,
+            intermediate_cardinality=self.join_meter.tuples_scanned,
+            result_rows=result_rows,
+            final_join_order=(
+                self.tree.best_order() if self._order_selection == "uct" else None
+            ),
+            time_slices=self.slices,
+            uct_nodes=self.tree.node_count(),
+            tracker_nodes=self.tracker.node_count(),
+            result_tuple_count=len(self.result_set),
+            extra={
+                "threads": self._threads,
+                "episode_wall_seconds": self.episode_wall_seconds,
+            },
+        )
 
 
 class SkinnerC:

@@ -586,3 +586,175 @@ class TestEngineUnregisteredMidFlight:
             assert stats["inflight"] == 0 and stats["queued"] == 0
         finally:
             DEFAULT_REGISTRY.unregister("toy2")
+
+
+class TestLimitPushdown:
+    """LIMIT on a streamable query stops scheduling once the cursor's row
+    budget is filled and releases the admission slot early."""
+
+    SQL = "SELECT a.v, b.w FROM a, b WHERE a.k = b.k LIMIT 4"
+
+    @staticmethod
+    def _conn(**overrides):
+        return TestStreaming._big_connection(**overrides)
+
+    def test_limited_query_completes_early_with_less_work(self):
+        conn = self._conn()
+        limited = conn.cursor()
+        limited.execute(self.SQL, use_result_cache=False)
+        rows = limited.fetchall()
+        assert len(rows) == 4
+        session = conn.server.session(limited.ticket)
+        assert session.state is SessionState.FINISHED
+        assert session.result.metrics.extra.get("limit_pushdown") is True
+        # The full (unlimited) join costs strictly more work.
+        full = conn.cursor()
+        full.execute(self.SQL.replace(" LIMIT 4", ""), use_result_cache=False)
+        full.fetchall()
+        limited_work = session.result.metrics.work.total
+        full_work = conn.server.session(full.ticket).result.metrics.work.total
+        assert 0 < limited_work < full_work
+
+    def test_limited_rows_are_a_subset_of_the_full_result(self):
+        conn = self._conn()
+        limited = conn.cursor()
+        limited.execute(self.SQL, use_result_cache=False)
+        rows = limited.fetchall()
+        reference = set(table_rows(conn.execute_direct(
+            self.SQL.replace(" LIMIT 4", ""))))
+        assert len(rows) == 4 and all(row in reference for row in rows)
+        assert limited.rowcount == 4
+
+    def test_limit_completion_releases_admission_slot_without_close(self):
+        conn = self._conn(serving_max_inflight=1)
+        limited = conn.cursor()
+        limited.execute(self.SQL, use_result_cache=False)
+        waiting = conn.cursor()
+        waiting.execute("SELECT COUNT(*) AS n FROM a", use_result_cache=False)
+        assert conn.server.stats()["queued"] == 1
+        assert len(limited.fetchall()) == 4
+        # The limited cursor stays open; completing the limit alone must
+        # have handed the slot onward.
+        assert waiting.fetchone() == (3000,)
+        stats = conn.server.stats()
+        assert stats["inflight"] == 0 and stats["queued"] == 0
+
+    def test_limited_results_never_enter_the_result_cache(self):
+        # A pushed-down LIMIT returns *a* valid prefix, not the canonical
+        # completion-ordered one — caching it would leak that choice into
+        # later submissions.
+        conn = self._conn()
+        first = conn.cursor()
+        first.execute(self.SQL)
+        first.fetchall()
+        again = conn.cursor()
+        again.execute(self.SQL)
+        again.fetchall()
+        assert not conn.server.session(again.ticket).cache_hit
+
+    def test_blocking_limit_still_delivers_canonical_order(self):
+        conn = self._conn()
+        cursor = conn.cursor()
+        sql = "SELECT a.v FROM a WHERE a.v < 50 ORDER BY a.v LIMIT 5"
+        cursor.execute(sql, use_result_cache=False)
+        session = conn.server.session(cursor.ticket)
+        assert cursor.fetchall() == table_rows(conn.execute_direct(sql))
+        assert not session.stream.incremental
+        assert session.result.metrics.extra.get("limit_pushdown") is None
+
+    def test_pushdown_disabled_by_config_restores_blocking_limit(self):
+        conn = self._conn(serving_limit_pushdown=False)
+        cursor = conn.cursor()
+        cursor.execute(self.SQL, use_result_cache=False)
+        rows = cursor.fetchall()
+        session = conn.server.session(cursor.ticket)
+        assert len(rows) == 4
+        assert not session.stream.incremental
+        assert session.result.metrics.extra.get("limit_pushdown") is None
+
+    def test_duplicate_output_names_collapse_like_a_full_run(self):
+        # Result tables are dict-keyed, so "SELECT a.v, b.v" collapses to a
+        # single column in a full run; the push-down's early result table
+        # must collapse identically instead of mispairing rows and names.
+        conn = self._conn()
+        conn.create_table("b2", {"k": [0, 1, 2], "v": [7, 8, 9]})
+        conn.commit()
+        sql = "SELECT a.v, b2.v FROM a, b2 WHERE a.k = b2.k"
+        limited = conn.cursor()
+        limited.execute(sql + " LIMIT 3", use_result_cache=False)
+        rows = limited.fetchall()
+        session = conn.server.session(limited.ticket)
+        assert session.result.metrics.extra.get("limit_pushdown") is True
+        assert len(rows) == 3
+        assert session.result.table.column_names == ["v"]
+        full = conn.cursor()
+        full.execute(sql, use_result_cache=False)
+        assert rows == full.fetchall()[:3]
+
+
+class TestPep249Errors:
+    """Use-after-close raises InterfaceError (a ReproError subclass, so
+    pre-existing except-clauses keep working); close() is idempotent."""
+
+    def test_interface_error_is_a_repro_error(self):
+        from repro import InterfaceError
+        assert issubclass(InterfaceError, ReproError)
+
+    def test_connection_close_is_idempotent(self):
+        conn = make_connection()
+        conn.close()
+        conn.close()
+        assert conn.closed
+
+    def test_all_cursor_methods_raise_interface_error_after_close(self):
+        from repro import InterfaceError
+        conn = make_connection()
+        cursor = conn.cursor()
+        cursor.execute("SELECT r.id FROM r")
+        cursor.close()
+        cursor.close()  # idempotent too
+        for call in (
+            lambda: cursor.execute("SELECT r.id FROM r"),
+            cursor.fetchone,
+            cursor.fetchmany,
+            cursor.fetchall,
+            cursor.result,
+            lambda: cursor.metrics,
+        ):
+            with pytest.raises(InterfaceError, match="cursor is closed"):
+                call()
+
+    def test_connection_methods_raise_interface_error_after_close(self):
+        from repro import InterfaceError
+        conn = make_connection()
+        conn.close()
+        for call in (
+            conn.cursor,
+            lambda: conn.execute("SELECT r.id FROM r"),
+            lambda: conn.execute_direct("SELECT r.id FROM r"),
+            lambda: conn.create_table("x", {"a": [1]}),
+            lambda: conn.drop_table("r"),
+            conn.commit,
+            conn.stats,
+        ):
+            with pytest.raises(InterfaceError, match="connection is closed"):
+                call()
+
+    def test_fetch_before_execute_raises_interface_error(self):
+        from repro import InterfaceError
+        cursor = make_connection().cursor()
+        with pytest.raises(InterfaceError, match="no query has been executed"):
+            cursor.fetchall()
+
+
+class TestExecuteDirectDeprecation:
+    def test_facade_execute_direct_warns_and_still_works(self):
+        import warnings
+        db = SkinnerDB(config=FAST)
+        db.create_table("r", {"id": [1, 2], "a": [10, 20]})
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = db.execute_direct("SELECT COUNT(*) AS n FROM r")
+        assert result.rows == [{"n": 2}]
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert any("cursor.execute" in str(w.message) for w in caught)

@@ -136,7 +136,8 @@ class TestExperimentDrivers:
         expected = ({f"table{i}" for i in range(1, 8)}
                     | {f"figure{i}" for i in range(6, 14)}
                     | {"postprocess_pipeline", "hashjoin_kernel",
-                       "concurrent_serving", "streaming_cursor"})
+                       "concurrent_serving", "streaming_cursor",
+                       "multitenant_server"})
         assert set(EXPERIMENTS) == expected
 
     def test_figure12_tiny_run_has_expected_shape(self):

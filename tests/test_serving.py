@@ -404,3 +404,152 @@ def test_submit_rejects_bad_requests(catalog):
         server.submit(QUERIES[0], engine="skinner-c", forced_order=("r", "s"))
     with pytest.raises(ReproError):
         server.poll(999)
+
+
+# ----------------------------------------------------------------------
+# tenant quotas
+# ----------------------------------------------------------------------
+def _drive_until_done(server, ticket):
+    while not server.session(ticket).done:
+        server.step()
+
+
+def test_equal_quota_tenants_split_work_evenly(catalog):
+    """Two backlogged tenants with default quotas share the work clock."""
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=8))
+    alice = [server.submit(QUERIES[1], tenant="alice", use_result_cache=False)
+             for _ in range(3)]
+    bob = [server.submit(QUERIES[1], tenant="bob", use_result_cache=False)
+           for _ in range(3)]
+    while not (all(server.session(t).done for t in alice)
+               or all(server.session(t).done for t in bob)):
+        server.step()
+    stats = server.stats()["tenants"]
+    alice_work, bob_work = stats["alice"]["work"], stats["bob"]["work"]
+    # Same queries, same quota: while both tenants are backlogged neither
+    # can get far ahead of the other on served work (tolerance covers one
+    # scheduling grant of slack on either side).
+    assert min(alice_work, bob_work) > 0
+    assert max(alice_work, bob_work) / min(alice_work, bob_work) < 1.5
+    server.drain()
+    assert_tables_identical(server.result(alice[0]).table,
+                            server.result(bob[0]).table)
+
+
+def test_quota_shares_divide_work_proportionally(catalog):
+    """A 3:1 quota split shows up as a ~3:1 split of served work."""
+    server = QueryServer(catalog, config=FAST)
+    server.set_tenant_quota("gold", 3.0)
+    server.set_tenant_quota("basic", 1.0)
+    gold = server.submit(QUERIES[1], tenant="gold", use_result_cache=False)
+    basic = server.submit(QUERIES[1], tenant="basic", use_result_cache=False)
+    while not server.session(gold).done and not server.session(basic).done:
+        server.step()
+    # Same query, 3x the quota: gold finishes first, and at that point the
+    # basic tenant has received roughly a third of the work.
+    assert server.session(gold).done and not server.session(basic).done
+    assert 0 < server.ledger.total(basic) < 0.6 * server.ledger.total(gold)
+    server.drain()
+
+
+def test_flooding_tenant_cannot_starve_light_tenant(catalog):
+    """The adversarial property: a heavy tenant submitting many sessions
+    gets no more of the work clock than its quota — the light tenant's
+    completion time is (nearly) independent of the heavy tenant's backlog.
+    """
+
+    def light_scheduling_delay(heavy_sessions: int) -> int:
+        server = QueryServer(
+            catalog, config=FAST.with_overrides(serving_max_inflight=8)
+        )
+        for _ in range(heavy_sessions):
+            server.submit(QUERIES[1], tenant="heavy", use_result_cache=False)
+        light = server.submit(QUERIES[4], tenant="light", use_result_cache=False)
+        # Setup work is charged eagerly at submission; fairness is about
+        # the *scheduled* episodes after that, so measure from here.
+        baseline = server.ledger.grand_total()
+        _drive_until_done(server, light)
+        session = server.session(light)
+        assert session.state is SessionState.FINISHED
+        return session.completed_at_work - baseline
+
+    single = light_scheduling_delay(1)
+    flooded = light_scheduling_delay(6)
+    # Per-session fair share would slow the light query ~3.5x going from
+    # 1+1 to 6+1 backlogged sessions; per-tenant quotas must keep it flat
+    # (tolerance covers one grant of heavy-tenant work on either side).
+    assert 0 < flooded <= 1.5 * single
+
+
+def test_tenant_fairness_does_not_change_results_or_charges(catalog):
+    """Quotas reshape the schedule only: results and per-query charges
+    stay byte-identical to solo runs."""
+    server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=4))
+    server.set_tenant_quota("heavy", 0.5)
+    tickets = [
+        server.submit(sql, tenant=("heavy" if index % 2 else "light"),
+                      use_result_cache=False)
+        for index, sql in enumerate(QUERIES[:4])
+    ]
+    server.drain()
+    for index, ticket in enumerate(tickets):
+        solo = solo_result(catalog, QUERIES[index], "skinner-c")
+        served = server.result(ticket)
+        assert_tables_identical(solo.table, served.table)
+        assert solo.metrics.work == served.metrics.work
+
+
+def test_single_tenant_schedule_unchanged_by_tenant_layer(catalog):
+    """With one tenant the hierarchical scheduler must reproduce the exact
+    pre-tenant schedule — determinism tests and serving benchmarks rely on
+    single-tenant traces staying stable."""
+
+    def trace(tenant_kwargs):
+        server = QueryServer(catalog, config=FAST.with_overrides(serving_max_inflight=3))
+        tickets = [server.submit(sql, use_result_cache=False, **tenant_kwargs)
+                   for sql in QUERIES[:4]]
+        order = []
+        while server.step():
+            order.append(tuple(server.ledger.total(ticket) for ticket in tickets))
+        return order
+
+    assert trace({}) == trace({"tenant": "solo"})
+
+
+def test_tenant_stats_report_quota_backlog_and_shares(catalog):
+    server = QueryServer(catalog, config=FAST)
+    server.set_tenant_quota("gold", 2.0)
+    gold = server.submit(QUERIES[1], tenant="gold", use_result_cache=False)
+    server.submit(QUERIES[4], tenant="basic", use_result_cache=False)
+    server.step()
+    stats = server.stats()["tenants"]
+    assert set(stats) == {"gold", "basic"}
+    assert stats["gold"]["quota"] == 2.0 and stats["basic"]["quota"] == 1.0
+    assert stats["gold"]["backlog"] == 1 and stats["basic"]["backlog"] == 1
+    server.drain()
+    stats = server.stats()["tenants"]
+    assert stats["gold"]["backlog"] == 0
+    assert stats["gold"]["work"] == server.ledger.total(gold)
+    shares = [tenant["grant_share"] for tenant in stats.values()]
+    assert abs(sum(shares) - 1.0) < 1e-9
+    with pytest.raises(ReproError, match="positive"):
+        server.set_tenant_quota("gold", 0.0)
+
+
+def test_wall_clock_grant_budget_bounds_grants(catalog):
+    """serving_grant_wall_ms ends a grant early; accounting still balances
+    and results stay correct (the knob trades determinism of the episode
+    interleaving for latency bounds, so it defaults to off)."""
+    server = QueryServer(
+        catalog,
+        config=FAST.with_overrides(serving_grant_wall_ms=0.001,
+                                   serving_quantum_episodes=1000),
+    )
+    ticket = server.submit(QUERIES[1], use_result_cache=False)
+    server.drain()
+    session = server.session(ticket)
+    assert session.state is SessionState.FINISHED
+    assert session.wall_seconds > 0.0
+    assert server.stats()["grant_wall_seconds"] >= session.wall_seconds
+    assert_tables_identical(solo_result(catalog, QUERIES[1], "skinner-c").table,
+                            server.result(ticket).table)
