@@ -34,6 +34,7 @@ from repro.bench.report import format_series, format_table
 _SMOKE_LIMITS: dict[str, Any] = {
     "scale": 0.15,
     "threads": 2,
+    "workers": 2,
     "tuples_per_table": 60,
     "budget": 5_000,
     "table_counts": (3,),

@@ -33,6 +33,7 @@ cursor method, and ``close()`` is idempotent — both per PEP 249.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Mapping, Sequence
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -69,18 +70,26 @@ def connect(
     autocommit: bool = False,
     tenant: str | None = None,
     timeout: float | None = None,
+    workers: int | None = None,
 ) -> Connection:
     """Open a connection — to a fresh in-memory database, or to a server.
 
     The first argument is either a :class:`~repro.config.SkinnerConfig`
     (in-process database, the historical form) or a DSN string
-    ``repro://host:port/?tenant=name&timeout=seconds`` selecting the remote
-    transport.  ``tenant`` and ``timeout`` keyword arguments override the
-    DSN's query parameters; for an in-process connection ``tenant`` tags
-    this connection's submissions in the serving layer's quota accounting
-    and ``timeout`` is ignored (there is no wire to time out).
-    ``registry`` and ``autocommit`` apply to in-process connections only
-    (a remote server resolves engines and commits against its own state).
+    ``repro://host:port/?tenant=name&timeout=seconds&workers=N`` selecting
+    the remote transport.  ``tenant``, ``timeout``, and ``workers`` keyword
+    arguments override the DSN's query parameters; for an in-process
+    connection ``tenant`` tags this connection's submissions in the serving
+    layer's quota accounting and ``timeout`` is ignored (there is no wire
+    to time out).  ``registry`` and ``autocommit`` apply to in-process
+    connections only (a remote server resolves engines and commits against
+    its own state).
+
+    ``workers`` sets this connection's default intra-query parallelism for
+    parallelizable engines (morsel-parallel Skinner-C): explicit keyword
+    beats the ``REPRO_PARALLEL_WORKERS`` environment variable beats the
+    config's own ``parallel_workers``.  Anything but a positive integer
+    raises :class:`~repro.errors.InterfaceError` here, at connect time.
 
     >>> import repro.api as db_api
     >>> conn = db_api.connect()
@@ -92,17 +101,52 @@ def connect(
     >>> cur.fetchall()
     [(20,)]
     """
+    workers = _resolve_workers(workers)
     if isinstance(config, str):
         from repro.net.client import RemoteTransport
 
-        transport = RemoteTransport.from_dsn(config, tenant=tenant, timeout=timeout)
+        transport = RemoteTransport.from_dsn(
+            config, tenant=tenant, timeout=timeout, workers=workers
+        )
         return Connection(transport=transport)
+    if workers is not None:
+        config = config.with_overrides(parallel_workers=workers)
     return Connection(
         config,
         registry=registry,
         autocommit=autocommit,
         tenant=tenant if tenant is not None else "default",
     )
+
+
+def _resolve_workers(workers: int | None) -> int | None:
+    """Validate the ``workers`` request (kwarg, then environment).
+
+    Returns ``None`` when neither the keyword nor ``REPRO_PARALLEL_WORKERS``
+    asks for anything — the config's own ``parallel_workers`` then applies
+    untouched.  Invalid values fail *here*, at connect time, instead of
+    surfacing as a confusing mid-query error.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_PARALLEL_WORKERS")
+        if raw is None or raw == "":
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InterfaceError(
+                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InterfaceError(
+                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {raw!r}"
+            )
+        return value
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise InterfaceError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise InterfaceError(f"workers must be a positive integer, got {workers!r}")
+    return workers
 
 
 class Connection:
@@ -363,6 +407,35 @@ class Connection:
         """
         self._check_open()
         return self._transport.stats()
+
+    def info(self) -> dict[str, Any]:
+        """Connection facts: transport kind, tenant, effective parallelism.
+
+        ``workers`` is the intra-query parallelism Skinner-C queries on
+        this connection run with by default — locally the config's
+        ``parallel_workers`` (after :func:`connect`'s ``workers=``/
+        ``REPRO_PARALLEL_WORKERS`` resolution), remotely the value the
+        server granted in the handshake.  ``engines`` lists the resolvable
+        engine names (local connections only — a remote server owns its
+        registry).
+        """
+        self._check_open()
+        if self._remote:
+            return {
+                "remote": True,
+                "tenant": self.tenant,
+                "workers": getattr(self._transport, "workers", 1),
+                "engines": None,
+                "autocommit": False,
+            }
+        assert self.config is not None and self.registry is not None
+        return {
+            "remote": False,
+            "tenant": self.tenant,
+            "workers": self.config.parallel_workers,
+            "engines": self.registry.names(),
+            "autocommit": self.autocommit,
+        }
 
     def execute(
         self,

@@ -36,13 +36,14 @@ from repro.baselines.eddy import EddyEngine
 from repro.baselines.reoptimizer import ReOptimizerEngine
 from repro.baselines.traditional import TraditionalEngine
 from repro.config import SkinnerConfig
+from repro.engine.task import validate_task_contract
 from repro.errors import ReproError
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
-from repro.skinner.skinner_c import SkinnerC
-from repro.skinner.skinner_g import SkinnerG
-from repro.skinner.skinner_h import SkinnerH
+from repro.skinner.skinner_c import SkinnerC, SkinnerCTask
+from repro.skinner.skinner_g import SkinnerG, SkinnerGTask
+from repro.skinner.skinner_h import SkinnerH, SkinnerHTask
 from repro.storage.catalog import Catalog
 
 
@@ -103,6 +104,18 @@ class EngineSpec:
     warm_startable:
         Whether ``task(query, order_prior=...)`` accepts join-order priors
         from the cross-query join-order cache.
+    parallelizable:
+        Whether the engine can execute one query over several worker
+        processes when ``config.parallel_workers > 1`` — its task class is
+        a valid worker-side morsel executor (``parallel_capable``).
+    task_class:
+        The :class:`~repro.engine.task.EngineTask` implementation behind
+        ``task(query)``.  Optional for plain episodic engines, but required
+        to *declare* ``streamable`` or ``parallelizable``: registration
+        validates the class against the declared capabilities (see
+        :func:`~repro.engine.task.validate_task_contract`), so a spec whose
+        capabilities its task cannot honor is rejected at registration
+        time, not mid-query.
     """
 
     name: str
@@ -112,6 +125,8 @@ class EngineSpec:
     streamable: bool = False
     episodic: bool = False
     warm_startable: bool = False
+    parallelizable: bool = False
+    task_class: type | None = None
 
     def build(self, context: EngineContext) -> Any:
         """Instantiate the engine for one execution context."""
@@ -173,10 +188,23 @@ class EngineRegistry:
         self._specs: dict[str, EngineSpec] = {}
 
     def register(self, spec: EngineSpec, *, replace: bool = False) -> EngineSpec:
-        """Register an engine spec; raises if the name exists unless ``replace``."""
+        """Register an engine spec; raises if the name exists unless ``replace``.
+
+        Specs that ship a ``task_class`` (or declare task-level
+        capabilities) are validated against the
+        :class:`~repro.engine.task.EngineTask` contract here, so capability
+        lies surface at registration time.
+        """
         name = spec.name.lower()
         if name != spec.name:
             spec = dataclasses.replace(spec, name=name)
+        validate_task_contract(
+            name,
+            spec.task_class,
+            episodic=spec.episodic,
+            streamable=spec.streamable,
+            parallelizable=spec.parallelizable,
+        )
         if name in self._specs and not replace:
             raise ReproError(f"engine {name!r} is already registered")
         self._specs[name] = spec
@@ -292,9 +320,12 @@ def _reoptimizer(context: EngineContext) -> ReOptimizerEngine:
 
 BUILTIN_SPECS = (
     EngineSpec("skinner-c", _skinner_c, episodic=True, streamable=True,
-               warm_startable=True),
-    EngineSpec("skinner-g", _skinner_g, episodic=True),
-    EngineSpec("skinner-h", _skinner_h, episodic=True, needs_statistics=True),
+               warm_startable=True, parallelizable=True,
+               task_class=SkinnerCTask),
+    EngineSpec("skinner-g", _skinner_g, episodic=True,
+               task_class=SkinnerGTask),
+    EngineSpec("skinner-h", _skinner_h, episodic=True, needs_statistics=True,
+               task_class=SkinnerHTask),
     EngineSpec("traditional", _traditional, supports_forced_order=True,
                needs_statistics=True),
     EngineSpec("eddy", _eddy),

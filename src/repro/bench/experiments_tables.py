@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.baselines.traditional import TraditionalEngine
@@ -40,16 +41,67 @@ def table1(scale: float = 0.6, seed: int = 13) -> dict[str, Any]:
     }
 
 
-def table2(scale: float = 0.6, seed: int = 13, threads: int = 8) -> dict[str, Any]:
-    """Table 2: join order benchmark, multi-threaded."""
+def table2(
+    scale: float = 0.6, seed: int = 13, threads: int = 8, workers: int = 1
+) -> dict[str, Any]:
+    """Table 2: join order benchmark, multi-threaded.
+
+    ``workers > 1`` additionally runs Skinner-C morsel-parallel over that
+    many worker processes and reports the measured single-process versus
+    parallel wall-clock under ``output["parallel"]`` (rows and charges are
+    byte-identical by design, so only wall time is interesting).
+    """
     workload = make_job_workload(scale=scale, seed=seed)
-    records = run_workload(job_multi_threaded_specs(threads), workload)
+    records = run_workload(
+        job_multi_threaded_specs(threads, workers=workers), workload
+    )
     rows = [summary.as_row() for summary in aggregate_records(records)]
     return {
         "title": f"Table 2: Join order benchmark, multi-threaded ({threads} threads)",
         "rows": rows,
         "records": records,
-        "parameters": {"scale": scale, "seed": seed, "threads": threads},
+        "parallel": _parallel_wall_clock(workload, threads, workers),
+        "parameters": {
+            "scale": scale, "seed": seed, "threads": threads, "workers": workers,
+        },
+    }
+
+
+def _parallel_wall_clock(
+    workload: Any, threads: int, workers: int, query_names: list[str] | None = None
+) -> dict[str, Any] | None:
+    """A/B wall-clock of Skinner-C: single-process versus morsel-parallel.
+
+    Runs the workload's queries twice on directly constructed engines and
+    measures real elapsed time — the simulated-time records above model the
+    paper's hardware, while this measures what the worker pool actually
+    buys on the machine at hand.  Returns ``None`` when ``workers <= 1``.
+    """
+    if workers <= 1:
+        return None
+    from repro.skinner.parallel import shutdown_workers
+
+    queries = workload.queries
+    if query_names is not None:
+        wanted = set(query_names)
+        queries = [q for q in queries if q.name in wanted]
+    walls: dict[str, float] = {}
+    variants = (
+        ("single", BENCH_CONFIG),
+        ("parallel", BENCH_CONFIG.with_overrides(parallel_workers=workers)),
+    )
+    for label, config in variants:
+        engine = SkinnerC(workload.catalog, workload.udfs, config, threads=threads)
+        started = time.perf_counter()
+        for workload_query in queries:
+            engine.execute(workload_query.query)
+        walls[label] = time.perf_counter() - started
+    shutdown_workers()
+    return {
+        "workers": workers,
+        "single_wall_seconds": round(walls["single"], 3),
+        "parallel_wall_seconds": round(walls["parallel"], 3),
+        "speedup": round(walls["single"] / max(walls["parallel"], 1e-9), 3),
     }
 
 
@@ -59,6 +111,7 @@ def _order_quality_records(
     threads: int,
     max_tables_for_optimal: int,
     query_names: list[str] | None,
+    workers: int = 1,
 ) -> list[QueryRecord]:
     """Shared driver for Tables 3 and 4: cross-executing join orders."""
     workload = make_job_workload(scale=scale, seed=seed)
@@ -67,7 +120,10 @@ def _order_quality_records(
         wanted = set(query_names)
         queries = [q for q in queries if q.name in wanted]
 
-    skinner = SkinnerC(workload.catalog, workload.udfs, BENCH_CONFIG, threads=threads)
+    skinner_config = BENCH_CONFIG if workers <= 1 else BENCH_CONFIG.with_overrides(
+        parallel_workers=workers
+    )
+    skinner = SkinnerC(workload.catalog, workload.udfs, skinner_config, threads=threads)
     engines = {
         "Postgres": TraditionalEngine(workload.catalog, workload.udfs,
                                       profile="postgres", threads=threads),
@@ -141,18 +197,31 @@ def table4(
     scale: float = 0.5,
     seed: int = 13,
     threads: int = 8,
+    workers: int = 1,
     *,
     max_tables_for_optimal: int = 6,
     query_names: list[str] | None = None,
 ) -> dict[str, Any]:
-    """Table 4: join order quality across execution engines, multi-threaded."""
-    records = _order_quality_records(scale, seed, threads, max_tables_for_optimal, query_names)
+    """Table 4: join order quality across execution engines, multi-threaded.
+
+    ``workers > 1`` runs the learning Skinner-C passes morsel-parallel and
+    reports the measured A/B wall-clock under ``output["parallel"]``; the
+    learned orders — and therefore every forced-order baseline row — are
+    unchanged because parallel execution is byte-identical by design.
+    """
+    records = _order_quality_records(
+        scale, seed, threads, max_tables_for_optimal, query_names, workers
+    )
     records = [r for r in records if r.engine.startswith(("Skinner", "MonetDB"))]
+    workload = make_job_workload(scale=scale, seed=seed)
     return {
         "title": f"Table 4: Join orders across engines, multi-threaded ({threads} threads)",
         "rows": _order_quality_rows(records),
         "records": records,
-        "parameters": {"scale": scale, "seed": seed, "threads": threads},
+        "parallel": _parallel_wall_clock(workload, threads, workers, query_names),
+        "parameters": {
+            "scale": scale, "seed": seed, "threads": threads, "workers": workers,
+        },
     }
 
 

@@ -106,6 +106,28 @@ class SkinnerConfig:
         early with the first ``LIMIT`` rows in materialization order and
         releases its admission slot.  Disable to always run such queries to
         completion (the canonical row order the result cache stores).
+    parallel_workers:
+        Skinner-C: number of processes running morsel episodes for one
+        query.  ``1`` (the default) keeps everything in-process.  Larger
+        values shard the join into morsels executed on a shared worker pool
+        with base columns in shared memory; results and meter charges are
+        byte-identical for every worker count because the morsel plan
+        depends only on the data and the morsel knobs, never on the pool
+        size.  See ``docs/parallel.md``.
+    parallel_morsels:
+        Skinner-C: target number of morsels the partition alias (the
+        largest filtered table) is split into.  Deliberately *not* derived
+        from ``parallel_workers`` so the morsel plan — and therefore rows
+        and charges — stays identical across worker counts.
+    parallel_min_morsel_rows:
+        Skinner-C: minimum filtered rows of the partition alias per morsel;
+        queries too small to form at least two morsels of this size run
+        single-process.
+    parallel_start_method:
+        ``multiprocessing`` start method of the worker pool (``"spawn"`` by
+        default — the only method safe on every supported platform; the
+        CI job forcing ``REPRO_PARALLEL_WORKERS=2`` guards exactly the
+        spawn-vs-fork difference).
     """
 
     slice_budget: int = 500
@@ -131,6 +153,10 @@ class SkinnerConfig:
     serving_grant_wall_ms: float = 0.0
     serving_tenant_backlog: int = 8
     serving_limit_pushdown: bool = True
+    parallel_workers: int = 1
+    parallel_morsels: int = 8
+    parallel_min_morsel_rows: int = 64
+    parallel_start_method: str = "spawn"
 
     def with_overrides(self, **kwargs) -> "SkinnerConfig":
         """Return a copy with the given fields replaced."""

@@ -60,9 +60,20 @@ ENGINE_NAMES = RegistryNames(DEFAULT_REGISTRY)
 class SkinnerDB:
     """A small in-memory database with learned and traditional engines."""
 
-    def __init__(self, config: SkinnerConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: SkinnerConfig = DEFAULT_CONFIG,
+        *,
+        workers: int | None = None,
+    ) -> None:
         # Schema mutations through the facade commit immediately; open a
         # Connection directly for transactional schema work.
+        if workers is not None:
+            from repro.api.connection import _resolve_workers
+
+            config = config.with_overrides(
+                parallel_workers=_resolve_workers(workers)
+            )
         self._connection = Connection(config, autocommit=True)
 
     # ------------------------------------------------------------------

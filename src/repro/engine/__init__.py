@@ -31,12 +31,15 @@ from repro.engine.operators import JOIN_MODES, validate_join_mode
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
 from repro.engine.relation import RowIdRelation
+from repro.engine.task import EngineTask, ExecutionBackend, validate_task_contract
 
 __all__ = [
     "JOIN_MODES",
     "CompositeKeys",
     "CostMeter",
     "EngineProfile",
+    "EngineTask",
+    "ExecutionBackend",
     "GroupedRows",
     "KeyPart",
     "PlanExecutor",
@@ -49,4 +52,5 @@ __all__ = [
     "post_process",
     "probe_grouped",
     "validate_join_mode",
+    "validate_task_contract",
 ]

@@ -1,0 +1,174 @@
+"""The execution contract between engines and their schedulers.
+
+Historically the episode-task protocol (``run_episode`` / ``work_total`` /
+``finalize``) was duck-typed: each Skinner variant shipped a task class that
+happened to have the right methods, and the serving layer hoped for the
+best.  Worker dispatch for morsel parallelism needs a serializable,
+introspectable contract, so the protocol is now a formal ABC:
+
+:class:`EngineTask`
+    One query's resumable execution state.  A scheduler drives it one
+    bounded episode at a time (``run_episode``), reads monotone progress
+    (``work_total``), and materializes the answer exactly once
+    (``finalize``).  Optional extensions — streaming, partial results,
+    parallel morsel execution — are declared through well-known attributes
+    so registries can *validate* a task class against the capabilities its
+    engine spec claims (see :func:`validate_task_contract`).
+
+:class:`ExecutionBackend`
+    An engine: a factory of tasks (episodic engines) and/or a one-shot
+    ``execute`` entry point (monolithic engines).
+
+Keeping the ABC in ``repro.engine`` (below both ``repro.skinner`` and
+``repro.serving`` in the import graph) lets engine implementations and the
+serving scheduler share it without cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.query import Query
+    from repro.result import QueryResult
+
+
+class EngineTask(abc.ABC):
+    """One query's resumable execution state, driven episode by episode.
+
+    Lifecycle contract (enforced by :func:`validate_task_contract` at
+    engine-registration time, relied on by the serving scheduler):
+
+    * ``finished`` is readable at any point after construction.  A task may
+      be born finished (empty input, single-table fast path).
+    * :meth:`run_episode` performs one bounded slice of work and returns
+      the new value of ``finished``.  Calling it on a finished task must be
+      a no-op returning ``True``.
+    * :meth:`work_total` is monotonically non-decreasing across episodes —
+      the serving layer accounts scheduler grants from its deltas.
+    * :meth:`finalize` materializes the result; it may only be called once
+      ``finished`` is true.
+    * :meth:`close` releases external resources (worker pools, shared
+      memory) and must be idempotent and safe at *any* point, including
+      mid-query cancellation.  The base implementation is a no-op.
+
+    Optional extensions, discovered via ``hasattr`` by the serving layer
+    and validated against the owning :class:`~repro.api.registry.EngineSpec`
+    capabilities:
+
+    * **streamable** — ``enable_streaming()`` / ``drain_new_tuples()`` plus
+      ``stream_aliases`` / ``stream_tables`` for incremental row delivery.
+    * **partial results** — ``partial_metrics(result_rows)`` for
+      LIMIT-style early termination.
+    * **parallelizable** — a truthy ``parallel_capable`` class attribute
+      marking the task as a valid worker-side morsel executor.
+    """
+
+    #: Whether the query has produced its complete result set.  Concrete
+    #: tasks typically manage this as a plain instance attribute.
+    finished: bool = False
+
+    #: Whether instances can serve as worker-side morsel executors (safe to
+    #: construct from pickled query state in a spawned process).  Engine
+    #: specs declaring ``parallelizable`` must provide a task class with a
+    #: truthy value.
+    parallel_capable: bool = False
+
+    @abc.abstractmethod
+    def run_episode(self) -> bool:
+        """Run one bounded episode; return whether the query is finished."""
+
+    @abc.abstractmethod
+    def work_total(self) -> int:
+        """Total work units charged so far (monotone across episodes)."""
+
+    @abc.abstractmethod
+    def finalize(self) -> "QueryResult":
+        """Materialize the final result (requires ``finished``)."""
+
+    def close(self) -> None:
+        """Release external resources; idempotent, safe mid-query."""
+
+    def __enter__(self) -> "EngineTask":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ExecutionBackend(abc.ABC):
+    """An engine: executes queries, optionally via resumable tasks.
+
+    Monolithic engines implement only :meth:`execute`; episodic engines
+    additionally override :meth:`task` so schedulers can interleave many
+    queries on one thread.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """The engine's registry name."""
+
+    @abc.abstractmethod
+    def execute(self, query: "Query") -> "QueryResult":
+        """Run ``query`` to completion and return its result."""
+
+    def task(self, query: "Query", **kwargs: Any) -> EngineTask:
+        """Create a resumable task for ``query`` (episodic engines only)."""
+        raise ReproError(f"engine {self.name!r} is not episodic")
+
+
+#: Method names every episodic task class must provide.
+_EPISODIC_METHODS = ("run_episode", "work_total", "finalize")
+
+#: Method names a streamable task class must additionally provide.
+_STREAMING_METHODS = ("enable_streaming", "drain_new_tuples")
+
+
+def validate_task_contract(
+    spec_name: str,
+    task_class: type | None,
+    *,
+    episodic: bool = False,
+    streamable: bool = False,
+    parallelizable: bool = False,
+) -> None:
+    """Check a task class against the capabilities an engine spec declares.
+
+    Raises :class:`~repro.errors.ReproError` when a declared capability has
+    no implementation to back it — at registration time, not mid-query.
+    Specs that declare no task-level capabilities and ship no task class
+    (monolithic engines) pass trivially.
+    """
+    if task_class is None:
+        missing = [
+            flag
+            for flag, declared in (
+                ("streamable", streamable),
+                ("parallelizable", parallelizable),
+            )
+            if declared
+        ]
+        if missing:
+            raise ReproError(
+                f"engine {spec_name!r} declares {', '.join(missing)} but "
+                "provides no task_class implementing it"
+            )
+        return
+    required = list(_EPISODIC_METHODS) if episodic or streamable else []
+    if streamable:
+        required += _STREAMING_METHODS
+    for method in required:
+        if not callable(getattr(task_class, method, None)):
+            raise ReproError(
+                f"engine {spec_name!r}: task class "
+                f"{task_class.__name__!r} does not implement {method}()"
+            )
+    if parallelizable and not getattr(task_class, "parallel_capable", False):
+        raise ReproError(
+            f"engine {spec_name!r} declares parallelizable but task class "
+            f"{task_class.__name__!r} is not marked parallel_capable"
+        )

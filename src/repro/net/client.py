@@ -54,13 +54,13 @@ from repro.storage.table import Table
 DEFAULT_PORT = 7439
 
 
-def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None]:
-    """Parse ``repro://host:port/?tenant=name&timeout=seconds``.
+def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None, int | None]:
+    """Parse ``repro://host:port/?tenant=name&timeout=seconds&workers=N``.
 
-    Returns ``(host, port, tenant, timeout)`` with ``None`` for parameters
-    the DSN does not set.  Unknown query parameters are rejected — a typo
-    in ``tenant`` would otherwise silently land the client in the default
-    quota bucket.
+    Returns ``(host, port, tenant, timeout, workers)`` with ``None`` for
+    parameters the DSN does not set.  Unknown query parameters are rejected
+    — a typo in ``tenant`` would otherwise silently land the client in the
+    default quota bucket.
     """
     parts = urlsplit(dsn)
     if parts.scheme != "repro":
@@ -70,7 +70,7 @@ def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None]:
     host = parts.hostname or "127.0.0.1"
     port = parts.port if parts.port is not None else DEFAULT_PORT
     params = parse_qs(parts.query, keep_blank_values=True)
-    unknown = set(params) - {"tenant", "timeout"}
+    unknown = set(params) - {"tenant", "timeout", "workers"}
     if unknown:
         raise InterfaceError(f"unknown DSN parameter(s): {', '.join(sorted(unknown))}")
     tenant = params["tenant"][0] if "tenant" in params else None
@@ -82,7 +82,18 @@ def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None]:
             raise InterfaceError(
                 f"DSN timeout must be a number of seconds, got {params['timeout'][0]!r}"
             ) from None
-    return host, port, tenant, timeout
+    workers: int | None = None
+    if "workers" in params:
+        raw = params["workers"][0]
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise InterfaceError(
+                f"DSN workers must be a positive integer, got {raw!r}"
+            ) from None
+        if workers < 1:
+            raise InterfaceError(f"DSN workers must be a positive integer, got {raw!r}")
+    return host, port, tenant, timeout, workers
 
 
 class SocketChannel:
@@ -95,6 +106,7 @@ class SocketChannel:
         *,
         tenant: str = "default",
         timeout: float | None = None,
+        workers: int | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
@@ -106,8 +118,13 @@ class SocketChannel:
         # TCP_NODELAY: every exchange is one small frame each way; Nagle
         # would add 40ms to each request under load.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        hello = self.request("hello", version=PROTOCOL_VERSION, tenant=tenant)
+        hello = self.request(
+            "hello", version=PROTOCOL_VERSION, tenant=tenant, workers=workers
+        )
         self.tenant: str = str(hello.get("tenant", tenant))
+        #: Effective intra-query parallelism the server granted this session
+        #: (the handshake echoes it back; ``1`` means single-process).
+        self.workers: int = int(hello.get("workers", workers or 1))
 
     def request(self, verb: str, **args: Any) -> dict[str, Any]:
         """One request/response exchange; returns the response data."""
@@ -186,9 +203,13 @@ class RemoteTransport(Transport):
         *,
         tenant: str = "default",
         timeout: float | None = None,
+        workers: int | None = None,
     ) -> None:
-        self._channel = SocketChannel(host, port, tenant=tenant, timeout=timeout)
+        self._channel = SocketChannel(
+            host, port, tenant=tenant, timeout=timeout, workers=workers
+        )
         self.tenant = self._channel.tenant
+        self.workers = self._channel.workers
 
     @classmethod
     def from_dsn(
@@ -197,14 +218,16 @@ class RemoteTransport(Transport):
         *,
         tenant: str | None = None,
         timeout: float | None = None,
+        workers: int | None = None,
     ) -> RemoteTransport:
         """Resolve a ``repro://`` DSN; keyword arguments win over the DSN's."""
-        host, port, dsn_tenant, dsn_timeout = parse_dsn(dsn)
+        host, port, dsn_tenant, dsn_timeout, dsn_workers = parse_dsn(dsn)
         return cls(
             host,
             port,
             tenant=tenant if tenant is not None else (dsn_tenant or "default"),
             timeout=timeout if timeout is not None else dsn_timeout,
+            workers=workers if workers is not None else dsn_workers,
         )
 
     # ------------------------------------------------------------------

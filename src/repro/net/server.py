@@ -54,6 +54,7 @@ class _Client:
     def __init__(self, peer: str) -> None:
         self.peer = peer
         self.tenant = "default"
+        self.workers: int | None = None
         self.tickets: set[int] = set()
 
 
@@ -240,12 +241,29 @@ class ReproServer:
             )
             return False
         client.tenant = str(args.get("tenant") or "default")
+        workers = args.get("workers")
+        if workers is not None:
+            if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+                await self._write(
+                    writer, request_id,
+                    error=InterfaceError(
+                        f"workers must be a positive integer, got {workers!r}"
+                    ),
+                )
+                return False
+            client.workers = workers
+        effective = (
+            client.workers
+            if client.workers is not None
+            else self.connection.config.parallel_workers
+        )
         await self._write(
             writer, request_id,
             data={
                 "version": PROTOCOL_VERSION,
                 "tenant": client.tenant,
                 "server": "repro",
+                "workers": effective,
             },
         )
         return True
@@ -310,11 +328,22 @@ class ReproServer:
         parsed = conn.parse(str(args["sql"]), args.get("params"))
         config = args.get("config")
         forced = args.get("forced_order")
+        if config is not None:
+            # A per-submission config carries its own parallel_workers —
+            # the client serialized the whole dataclass, session defaults
+            # must not override an explicit choice.
+            effective_config = SkinnerConfig(**config)
+        elif client.workers is not None:
+            effective_config = conn.config.with_overrides(
+                parallel_workers=client.workers
+            )
+        else:
+            effective_config = conn.config
         ticket = conn.server.submit(
             parsed,
             engine=args.get("engine", "skinner-c"),
             profile=args.get("profile", "postgres"),
-            config=SkinnerConfig(**config) if config is not None else conn.config,
+            config=effective_config,
             threads=int(args.get("threads", 1)),
             forced_order=tuple(forced) if forced is not None else None,
             use_result_cache=bool(args.get("use_result_cache", True)),

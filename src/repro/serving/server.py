@@ -24,6 +24,7 @@ threads — determinism is the feature the tests and benchmarks lean on.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import time
 from collections.abc import Callable, Sequence
@@ -319,7 +320,7 @@ class QueryServer:
         # Running: drop it from the rotation and hand the slot onward.
         self._scheduler.remove(session)
         session.state = SessionState.CANCELLED
-        session.task = None
+        self._release_task(session)
         self._admit_next(session)
         return True
 
@@ -643,7 +644,7 @@ class QueryServer:
         session.error = error
         session.result = None
         session.state = SessionState.FAILED
-        session.task = None
+        self._release_task(session)
         self._scheduler.discard(session)
         if session in self._admission.inflight:
             self._admit_next(session)
@@ -675,8 +676,9 @@ class QueryServer:
             self.result_cache.put_result(session.fingerprint, session.result)
         self._record_learned_orders(session)
         # Release the per-query execution state (preprocessed tables, result
-        # set, tracker, UCT tree) — only the result outlives completion.
-        session.task = None
+        # set, tracker, UCT tree, shared-memory segments) — only the result
+        # outlives completion.
+        self._release_task(session)
         self._admit_next(session)
 
     def _record_learned_orders(self, session: QuerySession) -> None:
@@ -743,8 +745,24 @@ class QueryServer:
         session.completed_at_work = self.ledger.grand_total()
         self._completed += 1
         self._scheduler.discard(session)
-        session.task = None
+        self._release_task(session)
         self._admit_next(session)
+
+    @staticmethod
+    def _release_task(session: QuerySession) -> None:
+        """Drop a session's task, closing it first to free external state.
+
+        Parallel Skinner-C tasks own shared-memory segments and in-flight
+        worker results; ``close()`` tears those down deterministically at
+        every terminal transition (complete, fail, cancel, limit push-down)
+        instead of waiting for garbage collection.  Registry extensions
+        without a ``close()`` are dropped as before.
+        """
+        task = session.task
+        session.task = None
+        if task is not None and hasattr(task, "close"):
+            with contextlib.suppress(Exception):
+                task.close()
 
     def _admit_next(self, session: QuerySession) -> None:
         admitted = self._admission.release(session)

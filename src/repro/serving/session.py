@@ -3,7 +3,9 @@
 A session tracks a submission from ``submit`` to its terminal state and owns
 the *episode task* that actually executes the query.  Episode tasks share a
 tiny protocol — ``run_episode() -> bool``, ``finished``, ``work_total()``,
-``finalize() -> QueryResult`` — implemented natively by the Skinner engines
+``finalize() -> QueryResult`` — formalized by the
+:class:`~repro.engine.task.EngineTask` ABC and implemented natively by the
+Skinner engines
 (:class:`~repro.skinner.skinner_c.SkinnerCTask`,
 :class:`~repro.skinner.skinner_g.SkinnerGTask`,
 :class:`~repro.skinner.skinner_h.SkinnerHTask`); the non-adaptive baselines
@@ -27,13 +29,20 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.config import SkinnerConfig
+from repro.engine.task import EngineTask
 from repro.errors import ReproError
 from repro.query.query import Query
 from repro.result import QueryResult
 
 
 class EpisodeTask(Protocol):
-    """What the scheduler needs from a resumable query execution."""
+    """What the scheduler needs from a resumable query execution.
+
+    Structural twin of the nominal :class:`~repro.engine.task.EngineTask`
+    ABC: the scheduler duck-types so third-party tasks need not inherit,
+    while :func:`~repro.engine.task.validate_task_contract` enforces the
+    same surface nominally at engine registration.
+    """
 
     finished: bool
 
@@ -169,7 +178,7 @@ class QuerySession:
         return self.task.work_total() if self.task is not None else 0
 
 
-class MonolithicTask:
+class MonolithicTask(EngineTask):
     """Adapter running a non-resumable engine as one (unbounded) episode.
 
     The traditional, eddy, and re-optimizer baselines have no suspend/resume

@@ -14,14 +14,18 @@ from __future__ import annotations
 
 import random
 import time
-from collections.abc import Sequence
+import warnings
+from collections.abc import Mapping, Sequence
 from typing import Any
+
+import numpy as np
 
 from repro.config import DEFAULT_CONFIG, SkinnerConfig
 from repro.engine.meter import CostMeter
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import get_profile
-from repro.errors import ExecutionError
+from repro.engine.task import EngineTask, ExecutionBackend
+from repro.errors import ExecutionError, ReproError
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryMetrics, QueryResult
@@ -37,7 +41,7 @@ from repro.uct.tree import UctJoinTree
 _MAX_SLICES = 5_000_000
 
 
-class SkinnerCTask:
+class SkinnerCTask(EngineTask):
     """Episode-sliced execution of one query on the Skinner-C engine.
 
     The execution loop of Algorithm 3 — choose a join order, restore its
@@ -57,7 +61,18 @@ class SkinnerCTask:
         iterable of ``(order, average_reward, visits)`` triples seeded into
         the fresh UCT tree before the first episode (see
         :meth:`repro.uct.tree.UctJoinTree.seed`).
+    restrict_positions:
+        Optional pre-computed filtered base-row positions per alias.  The
+        morsel-parallel coordinator uses this to hand each worker one chunk
+        of the partition alias: the worker then executes an ordinary
+        Skinner-C task whose universe is the morsel (no unary filtering is
+        repeated — and none is charged — for restricted aliases).
     """
+
+    #: SkinnerCTask instances are safe worker-side morsel executors: all
+    #: constructor inputs are plain data (queries, configs, position
+    #: arrays), so a spawned process can rebuild one from a pickled payload.
+    parallel_capable = True
 
     def __init__(
         self,
@@ -71,6 +86,7 @@ class SkinnerCTask:
         engine_name: str = "skinner-c",
         trace: bool = False,
         order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
+        restrict_positions: Mapping[str, np.ndarray] | None = None,
     ) -> None:
         self._config = config
         self._order_selection = order_selection
@@ -85,6 +101,7 @@ class SkinnerCTask:
         self.prepared = preprocess(
             catalog, query, udfs, self.pre_meter,
             build_hash_maps=config.use_hash_jump,
+            restrict_positions=restrict_positions,
         )
         self._udfs = udfs
         self._cardinalities = self.prepared.cardinalities()
@@ -268,7 +285,7 @@ class SkinnerCTask:
         )
 
 
-class SkinnerC:
+class SkinnerC(ExecutionBackend):
     """The Skinner-C engine: in-query join-order learning on a custom executor.
 
     Parameters
@@ -322,8 +339,29 @@ class SkinnerC:
         *,
         trace: bool = False,
         order_prior: Sequence[tuple[tuple[str, ...], float, int]] | None = None,
-    ) -> SkinnerCTask:
-        """Create a resumable episode task for ``query`` (see SkinnerCTask)."""
+    ) -> EngineTask:
+        """Create a resumable episode task for ``query``.
+
+        With ``config.parallel_workers > 1`` the task is the morsel-parallel
+        coordinator (see :mod:`repro.skinner.parallel`) whenever the query
+        is eligible: at least two tables, no UDF predicates (UDF callables
+        cannot cross a process boundary — such queries fall back to the
+        single-process task with a warning), no tracing, and enough base
+        rows to form at least two morsels.
+        """
+        if self._parallel_requested(query, trace=trace):
+            from repro.skinner.parallel import ParallelSkinnerCTask
+
+            return ParallelSkinnerCTask(
+                self._catalog,
+                query,
+                self._udfs,
+                self._config,
+                order_selection=self._order_selection,
+                threads=self._threads,
+                engine_name=self.name,
+                order_prior=order_prior,
+            )
         return SkinnerCTask(
             self._catalog,
             query,
@@ -335,6 +373,27 @@ class SkinnerC:
             trace=trace,
             order_prior=order_prior,
         )
+
+    def _parallel_requested(self, query: Query, *, trace: bool) -> bool:
+        """Whether ``task`` should hand this query to the parallel coordinator."""
+        config = self._config
+        if config.parallel_workers <= 1 or trace or query.num_tables < 2:
+            return False
+        if query.has_udf_predicates():
+            warnings.warn(
+                "query has UDF predicates; UDF callables cannot cross a "
+                "process boundary, falling back to single-process Skinner-C",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+        try:
+            largest = max(
+                self._catalog.table(name).num_rows for alias, name in query.tables
+            )
+        except ReproError:
+            return False  # let the single-process path raise the real error
+        return largest >= 2 * max(1, config.parallel_min_morsel_rows)
 
     def execute(self, query: Query, *, trace: bool = False) -> QueryResult:
         """Execute a query and return its result with metrics."""

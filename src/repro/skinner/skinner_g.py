@@ -22,6 +22,7 @@ from repro.engine.executor import PlanExecutor
 from repro.engine.meter import CostMeter
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
+from repro.engine.task import EngineTask, ExecutionBackend
 from repro.errors import BudgetExceeded, ExecutionError
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
@@ -166,7 +167,7 @@ class GenericLearningRun:
         return busiest.best_order()
 
 
-class SkinnerGTask:
+class SkinnerGTask(EngineTask):
     """Episode-sliced execution of one query on the Skinner-G engine.
 
     One episode is one iteration of Algorithm 1 — one batch attempt under
@@ -203,7 +204,7 @@ class SkinnerGTask:
         )
 
 
-class SkinnerG:
+class SkinnerG(ExecutionBackend):
     """The Skinner-G engine wrapper producing query results and metrics."""
 
     def __init__(

@@ -18,6 +18,7 @@ from repro.engine.executor import PlanExecutor
 from repro.engine.meter import CostMeter
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
+from repro.engine.task import EngineTask, ExecutionBackend
 from repro.errors import BudgetExceeded, ExecutionError
 from repro.optimizer.cardinality import EstimatedCardinality
 from repro.optimizer.dp_optimizer import DynamicProgrammingOptimizer
@@ -34,7 +35,7 @@ _MAX_ROUNDS = 64
 _MAX_EXHAUSTIVE_TABLES = 11
 
 
-class SkinnerHTask:
+class SkinnerHTask(EngineTask):
     """Episode-sliced execution of one query on the Skinner-H engine.
 
     The hybrid's round structure is exposed as a sequence of episodes: one
@@ -130,7 +131,7 @@ class SkinnerHTask:
         raise ExecutionError("Skinner-H did not converge within the round limit")
 
 
-class SkinnerH:
+class SkinnerH(ExecutionBackend):
     """The hybrid Skinner engine on top of a generic execution engine."""
 
     def __init__(

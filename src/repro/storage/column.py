@@ -63,6 +63,38 @@ class Column:
         else:  # pragma: no cover - exhaustive enum
             raise SchemaError(f"unknown column type {ctype!r}")
 
+    @classmethod
+    def from_physical(
+        cls,
+        data: np.ndarray,
+        ctype: ColumnType,
+        dictionary: Sequence[str] | None = None,
+    ) -> "Column":
+        """Build a column directly from its physical representation.
+
+        ``data`` is adopted as-is (int64/float64 values, or dictionary codes
+        for strings together with the ``dictionary`` of distinct values).
+        This is the reconstruction path of morsel workers, which receive the
+        flat physical arrays through shared memory and the string
+        dictionaries by value, and of :meth:`take` for numeric columns.
+        """
+        column = cls.__new__(cls)
+        column._ctype = ctype
+        column._data = data
+        column._decoded = None
+        column._translations = {}
+        if ctype is ColumnType.STRING:
+            if dictionary is None:
+                raise SchemaError("string columns need a dictionary")
+            column._dictionary = list(dictionary)
+            column._code_of = {value: i for i, value in enumerate(column._dictionary)}
+        else:
+            if dictionary is not None:
+                raise SchemaError("only string columns have a dictionary")
+            column._dictionary = None
+            column._code_of = None
+        return column
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
@@ -185,7 +217,7 @@ class Column:
         if self._ctype is ColumnType.STRING:
             values = [self.dictionary[int(code)] for code in self._data[positions]]
             return Column(values, ColumnType.STRING)
-        return _from_physical(self._data[positions], self._ctype)
+        return Column.from_physical(self._data[positions], self._ctype)
 
     def compare(self, op: str, literal: Any) -> np.ndarray:
         """Return a boolean mask of rows satisfying ``column <op> literal``.
@@ -281,11 +313,5 @@ def _encode_strings(values: Sequence[Any]) -> tuple[np.ndarray, list[str], dict[
 
 
 def _from_physical(data: np.ndarray, ctype: ColumnType) -> Column:
-    column = Column.__new__(Column)
-    column._ctype = ctype
-    column._data = data
-    column._dictionary = None
-    column._code_of = None
-    column._decoded = None
-    column._translations = {}
-    return column
+    """Backwards-compatible alias of :meth:`Column.from_physical`."""
+    return Column.from_physical(data, ctype)

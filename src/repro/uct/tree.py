@@ -158,6 +158,49 @@ class UctJoinTree:
             prefix.append(action)
 
     # ------------------------------------------------------------------
+    # cross-tree statistic exchange (morsel-parallel episodes)
+    # ------------------------------------------------------------------
+    def order_stats(self, k: int | None = None) -> list[tuple[tuple[str, ...], int, float]]:
+        """Selected orders with their visit counts and observed rewards.
+
+        Returns ``(order, selections, mean_reward)`` triples sorted by
+        selection count (descending, then order for determinism), where
+        ``mean_reward`` is the average reward accumulated on the order's
+        terminal path node.  This is the summary a morsel worker ships back
+        to the coordinator so concurrent episodes contribute to one tree.
+        """
+        stats: list[tuple[tuple[str, ...], int, float]] = []
+        for order, count in self._selection_counts.items():
+            node: UctNode | None = self._root
+            for action in order:
+                node = node.child(action) if node is not None else None
+                if node is None:
+                    break
+            reward = node.average_reward if node is not None and node.visits else 0.0
+            stats.append((order, count, reward))
+        stats.sort(key=lambda item: (-item[1], item[0]))
+        return stats if k is None else stats[:k]
+
+    def merge_stats(self, stats: Sequence[tuple[Sequence[str], int, float]]) -> None:
+        """Fold another tree's :meth:`order_stats` into this one.
+
+        Each ``(order, visits, reward)`` triple is credited via :meth:`seed`
+        — the same pseudo-visit mechanism the cross-query join-order cache
+        uses — so merged statistics bias future UCB1 choices exactly like
+        locally observed episodes, and merging in a fixed order is
+        deterministic.
+        """
+        for order, visits, reward in stats:
+            key = tuple(order)
+            self.seed(key, reward, int(visits))
+            if visits > 0:
+                # Unlike warm-start priors, these were real selections in a
+                # sibling tree: keep them visible to top_orders().
+                self._selection_counts[key] = (
+                    self._selection_counts.get(key, 0) + int(visits)
+                )
+
+    # ------------------------------------------------------------------
     # inspection helpers
     # ------------------------------------------------------------------
     def best_order(self) -> tuple[str, ...]:

@@ -62,12 +62,20 @@ def remote(server):
 
 class TestDsnParsing:
     def test_full_dsn(self):
-        assert parse_dsn("repro://db.example:8123/?tenant=ops&timeout=2.5") == (
-            "db.example", 8123, "ops", 2.5
-        )
+        assert parse_dsn(
+            "repro://db.example:8123/?tenant=ops&timeout=2.5&workers=4"
+        ) == ("db.example", 8123, "ops", 2.5, 4)
 
     def test_defaults(self):
-        assert parse_dsn("repro://localhost/") == ("localhost", DEFAULT_PORT, None, None)
+        assert parse_dsn("repro://localhost/") == (
+            "localhost", DEFAULT_PORT, None, None, None
+        )
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(InterfaceError, match="workers"):
+            parse_dsn("repro://localhost/?workers=zero")
+        with pytest.raises(InterfaceError, match="workers"):
+            parse_dsn("repro://localhost/?workers=0")
 
     def test_rejects_wrong_scheme(self):
         with pytest.raises(InterfaceError, match="scheme"):

@@ -1,0 +1,357 @@
+"""Tests for morsel-parallel Skinner-C and the ExecutionBackend API.
+
+The central property: the worker pool changes *where* a query's morsels
+run, never *what* they compute.  A query executed with N workers must
+produce byte-identical result rows and identical meter charges to the same
+query with 1 worker — and identical rows to the plain single-process
+Skinner-C task — because the morsel plan is a pure function of the data
+and the morsel knobs, never of the pool size.  On top of that the new
+surface is pinned: ``connect(workers=)`` / ``?workers=N`` validation,
+``Connection.info()``, registry conformance validation, fallback rules,
+and shared-memory / worker-pool hygiene.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import DEFAULT_REGISTRY, EngineSpec, connect
+from repro.config import DEFAULT_CONFIG, SkinnerConfig
+from repro.engine.task import EngineTask, ExecutionBackend, validate_task_contract
+from repro.errors import InterfaceError, ReproError
+from repro.query.predicates import (
+    column_compare_literal,
+    column_equals_column,
+    udf_predicate,
+)
+from repro.query.query import make_query
+from repro.query.udf import UdfRegistry
+from repro.serving import QueryServer
+from repro.skinner.parallel import (
+    ParallelSkinnerCTask,
+    live_segment_count,
+    plan_morsels,
+    shutdown_workers,
+)
+from repro.skinner.skinner_c import SkinnerC, SkinnerCTask
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.generators import make_rng
+
+#: Morsel knobs small enough that test-sized tables actually morselize.
+PARALLEL = DEFAULT_CONFIG.with_overrides(
+    parallel_morsels=4, parallel_min_morsel_rows=8
+)
+
+
+def build_catalog(seed: int = 7, n1: int = 400, n2: int = 300) -> Catalog:
+    rng = make_rng(seed)
+    catalog = Catalog()
+    catalog.add_table(Table("t1", {
+        "id": [int(x) for x in rng.integers(0, 50, n1)],
+        "v": [int(x) for x in rng.integers(0, 10, n1)],
+    }))
+    catalog.add_table(Table("t2", {
+        "fk": [int(x) for x in rng.integers(0, 50, n2)],
+        "w": [int(x) for x in rng.integers(0, 10, n2)],
+    }))
+    return catalog
+
+
+def join_query(limit_v: int = 8):
+    return make_query(
+        ["t1", "t2"],
+        predicates=[
+            column_equals_column("t1", "id", "t2", "fk"),
+            column_compare_literal("t1", "v", "<", limit_v),
+        ],
+    )
+
+
+def run_parallel(catalog, query, workers: int, config: SkinnerConfig = PARALLEL):
+    task = ParallelSkinnerCTask(
+        catalog, query, None, config.with_overrides(parallel_workers=workers)
+    )
+    try:
+        while not task.finished:
+            task.run_episode()
+        return task.finalize()
+    finally:
+        task.close()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_hygiene():
+    """After the module: no worker processes, no shared-memory segments."""
+    yield
+    shutdown_workers()
+    assert multiprocessing.active_children() == []
+    assert live_segment_count() == 0
+
+
+class TestByteIdentity:
+    """Rows and charges are invariant under the worker count."""
+
+    def test_identical_across_worker_counts(self):
+        catalog = build_catalog()
+        query = join_query()
+        plain = SkinnerC(catalog, None, DEFAULT_CONFIG).execute(query)
+        results = {w: run_parallel(catalog, query, w) for w in (1, 2, 3)}
+        reference = results[1]
+        assert reference.table.rows() == plain.table.rows()
+        for workers, result in results.items():
+            assert result.table.rows() == reference.table.rows(), workers
+            assert result.metrics.work == reference.metrics.work, workers
+            assert result.metrics.time_slices == reference.metrics.time_slices
+            assert result.metrics.uct_nodes == reference.metrics.uct_nodes
+            assert result.metrics.final_join_order == reference.metrics.final_join_order
+            assert result.metrics.simulated_time == reference.metrics.simulated_time
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 1_000),
+        n1=st.integers(40, 160),
+        n2=st.integers(40, 160),
+        limit_v=st.integers(1, 10),
+    )
+    def test_randomized_rows_and_charges(self, seed, n1, n2, limit_v):
+        catalog = build_catalog(seed=seed, n1=n1, n2=n2)
+        query = join_query(limit_v)
+        plain = SkinnerC(catalog, None, DEFAULT_CONFIG).execute(query)
+        single = run_parallel(catalog, query, 1)
+        multi = run_parallel(catalog, query, 2)
+        assert single.table.rows() == multi.table.rows() == plain.table.rows()
+        assert single.metrics.work == multi.metrics.work
+        assert single.metrics.simulated_time == multi.metrics.simulated_time
+
+    def test_engine_routing_matches_plain(self):
+        catalog = build_catalog()
+        query = join_query()
+        plain = SkinnerC(catalog, None, DEFAULT_CONFIG).execute(query)
+        routed = SkinnerC(
+            catalog, None, PARALLEL.with_overrides(parallel_workers=2)
+        ).execute(query)
+        assert routed.table.rows() == plain.table.rows()
+        assert routed.metrics.extra["parallel_workers"] == 2
+
+    def test_morsel_plan_ignores_worker_count(self):
+        catalog = build_catalog()
+        query = join_query()
+        import numpy as np
+
+        filtered = {
+            "t1": np.arange(catalog.table("t1").num_rows, dtype=np.int64),
+            "t2": np.arange(catalog.table("t2").num_rows, dtype=np.int64),
+        }
+        aliases = tuple(alias for alias, _ in query.tables)
+        plans = {
+            w: plan_morsels(
+                filtered, aliases, PARALLEL.with_overrides(parallel_workers=w)
+            )
+            for w in (1, 2, 7)
+        }
+        assert plans[1] == plans[2] == plans[7]
+
+
+class TestFallbacks:
+    def test_udf_query_falls_back_with_warning(self):
+        catalog = build_catalog()
+        udfs = UdfRegistry()
+        udfs.register("is_even", lambda value: value % 2 == 0)
+        query = make_query(
+            ["t1", "t2"],
+            predicates=[
+                column_equals_column("t1", "id", "t2", "fk"),
+                udf_predicate("is_even", ("t1", "v")),
+            ],
+        )
+        engine = SkinnerC(catalog, udfs, PARALLEL.with_overrides(parallel_workers=2))
+        with pytest.warns(RuntimeWarning, match="UDF"):
+            task = engine.task(query)
+        assert isinstance(task, SkinnerCTask)
+        assert not isinstance(task, ParallelSkinnerCTask)
+
+    def test_tiny_input_falls_back_silently(self):
+        catalog = build_catalog(n1=10, n2=10)
+        config = PARALLEL.with_overrides(
+            parallel_workers=2, parallel_min_morsel_rows=64
+        )
+        task = SkinnerC(catalog, None, config).task(join_query())
+        assert not isinstance(task, ParallelSkinnerCTask)
+
+    def test_workers_one_uses_plain_task(self):
+        catalog = build_catalog()
+        task = SkinnerC(catalog, None, DEFAULT_CONFIG).task(join_query())
+        assert isinstance(task, SkinnerCTask)
+        assert not isinstance(task, ParallelSkinnerCTask)
+
+
+class TestConnectWorkers:
+    def test_workers_kwarg_sets_config(self):
+        conn = connect(workers=3)
+        try:
+            assert conn.config.parallel_workers == 3
+            info = conn.info()
+            assert info["workers"] == 3
+            assert info["remote"] is False
+            assert "skinner-c" in info["engines"]
+        finally:
+            conn.close()
+
+    def test_default_is_single_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        conn = connect()
+        try:
+            assert conn.info()["workers"] == 1
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "two", True])
+    def test_invalid_workers_rejected_at_connect(self, bad):
+        with pytest.raises(InterfaceError, match="workers"):
+            connect(workers=bad)
+
+    def test_env_variable_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        conn = connect()
+        try:
+            assert conn.config.parallel_workers == 2
+        finally:
+            conn.close()
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        conn = connect(workers=4)
+        try:
+            assert conn.config.parallel_workers == 4
+        finally:
+            conn.close()
+
+    def test_bad_env_rejected_at_connect(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "many")
+        with pytest.raises(InterfaceError, match="REPRO_PARALLEL_WORKERS"):
+            connect()
+
+
+class TestRegistryConformance:
+    def test_streamable_without_task_class_rejected(self):
+        spec = EngineSpec("bad-stream", lambda ctx: None, streamable=True)
+        with pytest.raises(ReproError, match="task_class"):
+            DEFAULT_REGISTRY.register(spec)
+
+    def test_parallelizable_needs_parallel_capable_task(self):
+        class Task:  # episodic surface, but not parallel-capable
+            def run_episode(self):
+                return True
+
+            def work_total(self):
+                return 0
+
+            def finalize(self):
+                raise NotImplementedError
+
+        spec = EngineSpec(
+            "bad-parallel", lambda ctx: None,
+            episodic=True, parallelizable=True, task_class=Task,
+        )
+        with pytest.raises(ReproError, match="parallel_capable"):
+            DEFAULT_REGISTRY.register(spec)
+
+    def test_capability_free_registration_unaffected(self):
+        spec = EngineSpec("plain-engine", lambda ctx: None)
+        DEFAULT_REGISTRY.register(spec)
+        try:
+            assert "plain-engine" in DEFAULT_REGISTRY.names()
+        finally:
+            DEFAULT_REGISTRY.unregister("plain-engine")
+
+    def test_builtin_skinner_c_declares_parallelizable(self):
+        spec = DEFAULT_REGISTRY.resolve("skinner-c")
+        assert spec.parallelizable
+        assert spec.task_class is SkinnerCTask
+        assert SkinnerCTask.parallel_capable
+
+    def test_validate_contract_checks_episodic_methods(self):
+        class Partial:
+            def run_episode(self):
+                return True
+
+        with pytest.raises(ReproError, match="work_total"):
+            validate_task_contract("p", Partial, episodic=True)
+
+    def test_abcs_are_exported(self):
+        assert issubclass(SkinnerCTask, EngineTask)
+        assert issubclass(SkinnerC, ExecutionBackend)
+
+
+class TestServingIntegration:
+    def test_cancel_mid_query_releases_segments(self):
+        catalog = build_catalog()
+        config = PARALLEL.with_overrides(
+            parallel_workers=2, slice_budget=16, serving_warm_start=False
+        )
+        server = QueryServer(catalog, config=config)
+        query = join_query()
+        ticket = server.submit(query, use_result_cache=False)
+        for _ in range(3):
+            if not server.step():
+                break
+        assert server.cancel(ticket) or server.poll(ticket)["state"] == "finished"
+        assert live_segment_count() == 0
+
+    def test_served_parallel_matches_direct(self):
+        catalog = build_catalog()
+        config = PARALLEL.with_overrides(
+            parallel_workers=2, serving_warm_start=False
+        )
+        server = QueryServer(catalog, config=config)
+        query = join_query()
+        ticket = server.submit(query, use_result_cache=False)
+        while server.step():
+            pass
+        served = server.result(ticket)
+        direct = run_parallel(catalog, query, 2, config)
+        assert served.table.rows() == direct.table.rows()
+        assert served.metrics.work == direct.metrics.work
+        assert live_segment_count() == 0
+
+
+class TestWireWorkers:
+    def test_dsn_workers_applies_server_side(self):
+        from repro.net.server import ServerThread
+
+        config = SkinnerConfig(
+            slice_budget=64, parallel_morsels=4, parallel_min_morsel_rows=8,
+            serving_warm_start=False,
+        )
+        with ServerThread(config=config) as live:
+            catalog = build_catalog()
+            for name in ("t1", "t2"):
+                live.connection.add_table(catalog.table(name))
+            conn = connect(live.dsn + "?workers=2")
+            try:
+                assert conn.info()["workers"] == 2
+                sql = "SELECT t1.v, t2.w FROM t1, t2 WHERE t1.id = t2.fk"
+                remote = conn.execute(sql)
+                assert remote.metrics.extra["parallel_workers"] == 2
+                local = connect(config)
+                try:
+                    for name in ("t1", "t2"):
+                        local.add_table(catalog.table(name))
+                    expected = local.execute(sql)
+                finally:
+                    local.close()
+                assert remote.table.rows() == expected.table.rows()
+            finally:
+                conn.close()
+
+    def test_remote_bad_workers_rejected_client_side(self):
+        with pytest.raises(InterfaceError, match="workers"):
+            connect("repro://127.0.0.1:1/?workers=nope")
