@@ -21,11 +21,16 @@ Two environment variables drive the CI integration:
 from __future__ import annotations
 
 import dataclasses
+import glob
 import json
 import os
+import shutil
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable
+
+import pytest
 
 from repro.bench.report import format_series, format_table
 
@@ -47,6 +52,28 @@ _SMOKE_LIMITS: dict[str, Any] = {
 def smoke_mode() -> bool:
     """Whether the suite runs in the reduced CI smoke configuration."""
     return os.environ.get("BENCH_SMOKE", "") == "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_stray_data_dirs():
+    """Remove ``repro-bench-data-*`` temp directories left by failed runs.
+
+    The storage benchmarks keep all on-disk state (CSV fixtures, durable
+    ``data_dir``) in one ``tempfile.mkdtemp(prefix="repro-bench-data-")``
+    directory and remove it themselves; a run that dies mid-experiment
+    leaves it behind.  Sweeping before *and* after the session keeps the
+    runner's temp space bounded no matter how the previous run ended.
+    """
+    _remove_stray_data_dirs()
+    yield
+    _remove_stray_data_dirs()
+
+
+def _remove_stray_data_dirs() -> None:
+    pattern = os.path.join(tempfile.gettempdir(), "repro-bench-data-*")
+    for path in glob.glob(pattern):
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
 
 
 def _smoke_kwargs(kwargs: dict[str, Any]) -> dict[str, Any]:

@@ -71,6 +71,7 @@ def connect(
     tenant: str | None = None,
     timeout: float | None = None,
     workers: int | None = None,
+    data_dir: str | Path | None = None,
 ) -> Connection:
     """Open a connection — to a fresh in-memory database, or to a server.
 
@@ -91,6 +92,17 @@ def connect(
     config's own ``parallel_workers``.  Anything but a positive integer
     raises :class:`~repro.errors.InterfaceError` here, at connect time.
 
+    ``data_dir`` selects durable storage, resolved through the identical
+    chain: explicit keyword beats the ``REPRO_DATA_DIR`` environment
+    variable beats the config's own ``data_dir`` (``None`` everywhere
+    keeps the in-memory catalog).  Locally, opening the directory recovers
+    committed tables before :func:`connect` returns — warm starts answer
+    their first query without re-parsing CSVs; remotely the value is sent
+    in the handshake and must match the server's own data directory.  Bad
+    values (non-string, empty, an existing non-directory path, or a
+    format-version mismatch on open) raise
+    :class:`~repro.errors.InterfaceError` here, at connect time.
+
     >>> import repro.api as db_api
     >>> conn = db_api.connect()
     >>> conn.create_table("r", {"id": [1, 2], "x": [10, 20]})  # doctest: +ELLIPSIS
@@ -102,15 +114,18 @@ def connect(
     [(20,)]
     """
     workers = _resolve_workers(workers)
+    data_dir = _resolve_data_dir(data_dir)
     if isinstance(config, str):
         from repro.net.client import RemoteTransport
 
         transport = RemoteTransport.from_dsn(
-            config, tenant=tenant, timeout=timeout, workers=workers
+            config, tenant=tenant, timeout=timeout, workers=workers, data_dir=data_dir
         )
         return Connection(transport=transport)
     if workers is not None:
         config = config.with_overrides(parallel_workers=workers)
+    if data_dir is not None:
+        config = config.with_overrides(data_dir=data_dir)
     return Connection(
         config,
         registry=registry,
@@ -147,6 +162,47 @@ def _resolve_workers(workers: int | None) -> int | None:
     if workers < 1:
         raise InterfaceError(f"workers must be a positive integer, got {workers!r}")
     return workers
+
+
+def _resolve_data_dir(data_dir: str | Path | None) -> str | None:
+    """Validate the ``data_dir`` request (kwarg, then environment).
+
+    Returns ``None`` when neither the keyword nor ``REPRO_DATA_DIR`` asks
+    for anything — the config's own ``data_dir`` then applies untouched.
+    Invalid values fail *here*, at connect time, mirroring
+    :func:`_resolve_workers`.
+    """
+    origin = "data_dir"
+    if data_dir is None:
+        raw = os.environ.get("REPRO_DATA_DIR")
+        if raw is None or raw == "":
+            return None
+        data_dir = raw
+        origin = "REPRO_DATA_DIR"
+    if isinstance(data_dir, Path):
+        data_dir = str(data_dir)
+    if not isinstance(data_dir, str) or not data_dir.strip():
+        raise InterfaceError(f"{origin} must be a non-empty path, got {data_dir!r}")
+    path = Path(data_dir)
+    if path.exists() and not path.is_dir():
+        raise InterfaceError(f"{origin} {data_dir!r} exists and is not a directory")
+    return data_dir
+
+
+def _build_buffer_manager(config: SkinnerConfig):
+    """The storage backend a local connection's catalog runs on.
+
+    ``config.data_dir`` selects durable storage; ``None`` (the default)
+    returns ``None`` so :class:`~repro.storage.catalog.Catalog` builds its
+    historical in-memory backend.  Recovery runs inside the catalog's
+    constructor, so a corrupt or version-mismatched directory fails the
+    ``connect()`` call itself.
+    """
+    if config.data_dir is None:
+        return None
+    from repro.storage.durable import DurableBufferManager
+
+    return DurableBufferManager(config.data_dir, pool_bytes=config.buffer_pool_bytes)
 
 
 class Connection:
@@ -192,7 +248,7 @@ class Connection:
             self.autocommit = False
             self._transport: Transport = transport
         else:
-            self.catalog = Catalog()
+            self.catalog = Catalog(_build_buffer_manager(config))
             self.udfs = UdfRegistry()
             self.config = config
             self.autocommit = autocommit
@@ -201,7 +257,10 @@ class Connection:
         self._statistics: StatisticsCatalog | None = None
         self._server: QueryServer | None = None
         self._closed = False
-        self._txn_tables: dict[str, Table] | None = None
+        # Opaque catalog snapshot token of the open transaction (a table
+        # mapping in-memory, a WAL offset with durable storage) — None
+        # outside transactions.
+        self._txn_tables: Any | None = None
         self._txn_udfs: dict[str, Any] | None = None
         self._cursors: list[Cursor] = []
 
@@ -245,6 +304,8 @@ class Connection:
                 self._transport.close()
             except OperationalError:
                 pass
+            if self.catalog is not None:
+                self.catalog.close()
 
     def __enter__(self) -> Connection:
         return self
@@ -283,6 +344,17 @@ class Connection:
             assert self.catalog is not None and self.udfs is not None
             self._txn_tables = self.catalog.snapshot()
             self._txn_udfs = self.udfs.snapshot()
+
+    def _after_mutation(self) -> None:
+        """Autocommit: every mutation is its own committed transaction.
+
+        Without this, durable storage would never see a commit record on
+        autocommit connections (the :class:`~repro.db.SkinnerDB` facade)
+        and their mutations would be rolled back on reopen.
+        """
+        if self.autocommit and not self._remote:
+            assert self.catalog is not None
+            self.catalog.commit()
 
     def commit(self) -> None:
         """Make schema mutations since the last commit permanent."""
@@ -425,6 +497,7 @@ class Connection:
                 "remote": True,
                 "tenant": self.tenant,
                 "workers": getattr(self._transport, "workers", 1),
+                "data_dir": getattr(self._transport, "data_dir", None),
                 "engines": None,
                 "autocommit": False,
             }
@@ -433,6 +506,7 @@ class Connection:
             "remote": False,
             "tenant": self.tenant,
             "workers": self.config.parallel_workers,
+            "data_dir": self.config.data_dir,
             "engines": self.registry.names(),
             "autocommit": self.autocommit,
         }

@@ -21,6 +21,7 @@ from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
 from repro.bench.experiments_server import multitenant_server
 from repro.bench.experiments_serving import concurrent_serving
+from repro.bench.experiments_storage import cold_vs_warm_start
 from repro.bench.experiments_streaming import streaming_cursor
 from repro.bench.experiments_tables import (
     table1,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "hashjoin_kernel": hashjoin_kernel,
     "postprocess_pipeline": postprocess_pipeline,
     "streaming_cursor": streaming_cursor,
+    "cold_vs_warm_start": cold_vs_warm_start,
 }
 
 __all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

@@ -128,6 +128,21 @@ class SkinnerConfig:
         default — the only method safe on every supported platform; the
         CI job forcing ``REPRO_PARALLEL_WORKERS=2`` guards exactly the
         spawn-vs-fork difference).
+    data_dir:
+        Root directory of durable storage.  ``None`` (the default) keeps
+        the historical in-memory catalog; a path selects the
+        :class:`~repro.storage.durable.DurableBufferManager` — columns
+        persist as memory-mapped files, ``commit()`` survives restart, and
+        a reopened connection recovers to the last committed transaction
+        (see ``docs/storage.md``).  :func:`repro.api.connect` resolves its
+        ``data_dir=`` keyword and the ``REPRO_DATA_DIR`` environment
+        variable into this field, exactly like ``workers=`` into
+        ``parallel_workers``.
+    buffer_pool_bytes:
+        Byte capacity of the durable backend's page cache — the bound on
+        resident (memory-mapped) column arrays; least-recently-used
+        columns are evicted beyond it.  Ignored by the in-memory backend,
+        which by definition pins everything.
     """
 
     slice_budget: int = 500
@@ -157,6 +172,8 @@ class SkinnerConfig:
     parallel_morsels: int = 8
     parallel_min_morsel_rows: int = 64
     parallel_start_method: str = "spawn"
+    data_dir: str | None = None
+    buffer_pool_bytes: int = 256 * 2**20
 
     def with_overrides(self, **kwargs) -> "SkinnerConfig":
         """Return a copy with the given fields replaced."""

@@ -65,6 +65,7 @@ class SkinnerDB:
         config: SkinnerConfig = DEFAULT_CONFIG,
         *,
         workers: int | None = None,
+        data_dir: str | Path | None = None,
     ) -> None:
         # Schema mutations through the facade commit immediately; open a
         # Connection directly for transactional schema work.
@@ -74,6 +75,10 @@ class SkinnerDB:
             config = config.with_overrides(
                 parallel_workers=_resolve_workers(workers)
             )
+        if data_dir is not None:
+            from repro.api.connection import _resolve_data_dir
+
+            config = config.with_overrides(data_dir=_resolve_data_dir(data_dir))
         self._connection = Connection(config, autocommit=True)
 
     # ------------------------------------------------------------------
@@ -87,6 +92,10 @@ class SkinnerDB:
     def cursor(self) -> Cursor:
         """A PEP 249 cursor with streaming fetches (see :mod:`repro.api`)."""
         return self._connection.cursor()
+
+    def close(self) -> None:
+        """Close the underlying connection (checkpoints durable storage)."""
+        self._connection.close()
 
     # ------------------------------------------------------------------
     # delegated session state

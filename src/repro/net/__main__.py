@@ -46,7 +46,7 @@ def seed_demo_data(connection) -> None:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    connection = connect()
+    connection = connect(data_dir=args.data_dir)
     if args.demo_data:
         seed_demo_data(connection)
     server = ReproServer(connection, host=args.host, port=args.port)
@@ -76,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--demo-data", action="store_true",
         help="seed the quickstart schema before serving",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="serve durable storage from this directory (created and "
+             "recovered on start; omit for the in-memory catalog)",
     )
     args = parser.parse_args(argv)
     return asyncio.run(_serve(args))

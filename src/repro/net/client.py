@@ -54,13 +54,15 @@ from repro.storage.table import Table
 DEFAULT_PORT = 7439
 
 
-def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None, int | None]:
-    """Parse ``repro://host:port/?tenant=name&timeout=seconds&workers=N``.
+def parse_dsn(
+    dsn: str,
+) -> tuple[str, int, str | None, float | None, int | None, str | None]:
+    """Parse ``repro://host:port/?tenant=name&timeout=s&workers=N&data_dir=path``.
 
-    Returns ``(host, port, tenant, timeout, workers)`` with ``None`` for
-    parameters the DSN does not set.  Unknown query parameters are rejected
-    — a typo in ``tenant`` would otherwise silently land the client in the
-    default quota bucket.
+    Returns ``(host, port, tenant, timeout, workers, data_dir)`` with
+    ``None`` for parameters the DSN does not set.  Unknown query parameters
+    are rejected — a typo in ``tenant`` would otherwise silently land the
+    client in the default quota bucket.
     """
     parts = urlsplit(dsn)
     if parts.scheme != "repro":
@@ -70,7 +72,7 @@ def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None, int | None]
     host = parts.hostname or "127.0.0.1"
     port = parts.port if parts.port is not None else DEFAULT_PORT
     params = parse_qs(parts.query, keep_blank_values=True)
-    unknown = set(params) - {"tenant", "timeout", "workers"}
+    unknown = set(params) - {"tenant", "timeout", "workers", "data_dir"}
     if unknown:
         raise InterfaceError(f"unknown DSN parameter(s): {', '.join(sorted(unknown))}")
     tenant = params["tenant"][0] if "tenant" in params else None
@@ -93,7 +95,12 @@ def parse_dsn(dsn: str) -> tuple[str, int, str | None, float | None, int | None]
             ) from None
         if workers < 1:
             raise InterfaceError(f"DSN workers must be a positive integer, got {raw!r}")
-    return host, port, tenant, timeout, workers
+    data_dir: str | None = None
+    if "data_dir" in params:
+        data_dir = params["data_dir"][0]
+        if not data_dir.strip():
+            raise InterfaceError("DSN data_dir must be a non-empty path")
+    return host, port, tenant, timeout, workers, data_dir
 
 
 class SocketChannel:
@@ -107,6 +114,7 @@ class SocketChannel:
         tenant: str = "default",
         timeout: float | None = None,
         workers: int | None = None,
+        data_dir: str | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
@@ -119,12 +127,20 @@ class SocketChannel:
         # would add 40ms to each request under load.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         hello = self.request(
-            "hello", version=PROTOCOL_VERSION, tenant=tenant, workers=workers
+            "hello",
+            version=PROTOCOL_VERSION,
+            tenant=tenant,
+            workers=workers,
+            data_dir=data_dir,
         )
         self.tenant: str = str(hello.get("tenant", tenant))
         #: Effective intra-query parallelism the server granted this session
         #: (the handshake echoes it back; ``1`` means single-process).
         self.workers: int = int(hello.get("workers", workers or 1))
+        #: The server's durable data directory (``None`` = in-memory);
+        #: echoed by the handshake, which rejects a mismatched request.
+        raw_dir = hello.get("data_dir")
+        self.data_dir: str | None = str(raw_dir) if raw_dir is not None else None
 
     def request(self, verb: str, **args: Any) -> dict[str, Any]:
         """One request/response exchange; returns the response data."""
@@ -204,12 +220,15 @@ class RemoteTransport(Transport):
         tenant: str = "default",
         timeout: float | None = None,
         workers: int | None = None,
+        data_dir: str | None = None,
     ) -> None:
         self._channel = SocketChannel(
-            host, port, tenant=tenant, timeout=timeout, workers=workers
+            host, port, tenant=tenant, timeout=timeout, workers=workers,
+            data_dir=data_dir,
         )
         self.tenant = self._channel.tenant
         self.workers = self._channel.workers
+        self.data_dir = self._channel.data_dir
 
     @classmethod
     def from_dsn(
@@ -219,15 +238,17 @@ class RemoteTransport(Transport):
         tenant: str | None = None,
         timeout: float | None = None,
         workers: int | None = None,
+        data_dir: str | None = None,
     ) -> RemoteTransport:
         """Resolve a ``repro://`` DSN; keyword arguments win over the DSN's."""
-        host, port, dsn_tenant, dsn_timeout, dsn_workers = parse_dsn(dsn)
+        host, port, dsn_tenant, dsn_timeout, dsn_workers, dsn_data_dir = parse_dsn(dsn)
         return cls(
             host,
             port,
             tenant=tenant if tenant is not None else (dsn_tenant or "default"),
             timeout=timeout if timeout is not None else dsn_timeout,
             workers=workers if workers is not None else dsn_workers,
+            data_dir=data_dir if data_dir is not None else dsn_data_dir,
         )
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ ephemeral port for tests, benchmarks, and the self-contained quickstart.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from typing import Any
@@ -46,6 +47,11 @@ from repro.net.protocol import (
     read_frame,
     result_to_wire,
 )
+
+
+def _same_path(a: str, b: str) -> bool:
+    """Whether two paths name the same location (symlinks resolved)."""
+    return os.path.realpath(a) == os.path.realpath(b)
 
 
 class _Client:
@@ -257,6 +263,30 @@ class ReproServer:
             if client.workers is not None
             else self.connection.config.parallel_workers
         )
+        server_dir = self.connection.config.data_dir
+        requested_dir = args.get("data_dir")
+        if requested_dir is not None:
+            # data_dir names server-side storage; a client asking for a
+            # directory this server does not serve would silently run
+            # against the wrong (or no) durable state, so mismatches fail
+            # the handshake.
+            if not isinstance(requested_dir, str) or not requested_dir.strip():
+                await self._write(
+                    writer, request_id,
+                    error=InterfaceError(
+                        f"data_dir must be a non-empty path, got {requested_dir!r}"
+                    ),
+                )
+                return False
+            if server_dir is None or not _same_path(requested_dir, server_dir):
+                await self._write(
+                    writer, request_id,
+                    error=InterfaceError(
+                        f"server data_dir is {server_dir!r}; "
+                        f"refusing session asking for {requested_dir!r}"
+                    ),
+                )
+                return False
         await self._write(
             writer, request_id,
             data={
@@ -264,6 +294,7 @@ class ReproServer:
                 "tenant": client.tenant,
                 "server": "repro",
                 "workers": effective,
+                "data_dir": server_dir,
             },
         )
         return True

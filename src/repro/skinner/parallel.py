@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import atexit
 import inspect
+import json
 import multiprocessing
 import time
 from collections.abc import Sequence
@@ -89,12 +90,40 @@ class _ArraySpec:
 
 
 @dataclass(frozen=True)
-class _ColumnSpec:
-    """Physical description of one column shipped through shared memory."""
+class _FileArraySpec:
+    """Locator of one flat array in a durable column file.
 
-    array: _ArraySpec
+    Columns of a durable catalog already live in files under the
+    ``data_dir``; workers ``np.memmap`` the file read-only instead of
+    receiving a shared-memory copy — zero copies, and the OS page cache is
+    shared across the whole worker pool.
+    """
+
+    path: str
+    dtype: str
+    length: int
+
+
+@dataclass(frozen=True)
+class _DictFileSpec:
+    """Locator of a string dictionary persisted as a JSON sidecar file."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """Physical description of one column shipped to workers.
+
+    ``array`` locates the physical values in shared memory (in-memory
+    tables) or in a durable column file (``data_dir`` tables);
+    ``dictionary`` is the string dictionary by value, by sidecar file, or
+    ``None`` for numeric columns.
+    """
+
+    array: _ArraySpec | _FileArraySpec
     ctype: str
-    dictionary: tuple[str, ...] | None
+    dictionary: tuple[str, ...] | _DictFileSpec | None
 
 
 class _SharedArrays:
@@ -178,6 +207,31 @@ def _load_shared_array(spec: _ArraySpec) -> np.ndarray:
     del view
     segment.close()
     return data
+
+
+def _load_column_array(spec: _ArraySpec | _FileArraySpec) -> np.ndarray:
+    """Materialize one column's physical array in a worker.
+
+    File-backed specs map the durable column file read-only — no copy;
+    the kernel shares the pages across every worker touching the column.
+    Shared-memory specs copy out as before.
+    """
+    if isinstance(spec, _FileArraySpec):
+        if spec.length == 0:
+            return np.empty(0, dtype=np.dtype(spec.dtype))
+        return np.memmap(
+            spec.path, dtype=np.dtype(spec.dtype), mode="r", shape=(spec.length,)
+        )
+    return _load_shared_array(spec)
+
+
+def _load_dictionary(
+    dictionary: tuple[str, ...] | _DictFileSpec | None,
+) -> list[str] | None:
+    if isinstance(dictionary, _DictFileSpec):
+        with open(dictionary.path) as handle:
+            return json.load(handle)
+    return list(dictionary) if dictionary is not None else None
 
 
 # ----------------------------------------------------------------------
@@ -264,9 +318,9 @@ def _run_morsel(payload: dict[str, Any]) -> dict[str, Any]:
         columns: dict[str, Column] = {}
         for column_name, spec in column_specs.items():
             columns[column_name] = Column.from_physical(
-                _load_shared_array(spec.array),
+                _load_column_array(spec.array),
                 ColumnType(spec.ctype),
-                spec.dictionary,
+                _load_dictionary(spec.dictionary),
             )
         tables[name] = Table(name, columns)
     positions = {
@@ -528,7 +582,13 @@ class ParallelSkinnerCTask(EngineTask):
             self._dispatch_remaining()
 
     def _dispatch_remaining(self) -> None:
-        """Ship tables/positions to shared memory and enqueue every morsel."""
+        """Ship tables/positions to workers and enqueue every morsel.
+
+        Durable columns (``column.source`` set) travel as file locators —
+        workers map the ``data_dir`` files directly; in-memory columns are
+        copied into shared memory as before.  Positions are always shm
+        (they are query-specific filter results, not stored columns).
+        """
         shared = _SharedArrays()
         self._shared = shared
         table_specs: dict[str, dict[str, _ColumnSpec]] = {}
@@ -536,15 +596,7 @@ class ParallelSkinnerCTask(EngineTask):
             if table.name in table_specs:
                 continue  # self-joins share one base table
             table_specs[table.name] = {
-                column_name: _ColumnSpec(
-                    array=shared.share(table.column(column_name).data),
-                    ctype=table.column(column_name).ctype.value,
-                    dictionary=(
-                        tuple(table.column(column_name).dictionary)
-                        if table.column(column_name).ctype is ColumnType.STRING
-                        else None
-                    ),
-                )
+                column_name: self._column_spec(table.column(column_name), shared)
                 for column_name in table.column_names
             }
         position_specs = {
@@ -566,6 +618,27 @@ class ParallelSkinnerCTask(EngineTask):
                 "order_prior": self._priors,
             }
             self._dispatched.append(pool.apply_async(_run_morsel, (payload,)))
+
+    @staticmethod
+    def _column_spec(column: Column, shared: _SharedArrays) -> _ColumnSpec:
+        """One column's worker-side locator: file-backed or shared-memory."""
+        source = column.source
+        is_string = column.ctype is ColumnType.STRING
+        if source is not None:
+            return _ColumnSpec(
+                array=_FileArraySpec(source.path, source.dtype, source.length),
+                ctype=column.ctype.value,
+                dictionary=(
+                    _DictFileSpec(source.dictionary_path)
+                    if is_string and source.dictionary_path is not None
+                    else (tuple(column.dictionary) if is_string else None)
+                ),
+            )
+        return _ColumnSpec(
+            array=shared.share(column.data),
+            ctype=column.ctype.value,
+            dictionary=tuple(column.dictionary) if is_string else None,
+        )
 
     def _collect_dispatched(self) -> None:
         """Merge the next dispatched morsel (blocking, in morsel order)."""

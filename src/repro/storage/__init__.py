@@ -1,8 +1,7 @@
 """Column-store storage substrate.
 
-This package provides the minimal in-memory column store that every engine
-in the repository (traditional executor, Skinner variants, Eddies, ...) runs
-on top of:
+This package provides the column store that every engine in the repository
+(traditional executor, Skinner variants, Eddies, ...) runs on top of:
 
 * :class:`~repro.storage.column.Column` — a typed, immutable column holding
   64-bit integers, floats, or dictionary-encoded strings.
@@ -13,21 +12,38 @@ on top of:
   hash-join operators and by Skinner-C's hash-jump multi-way join.
 * :class:`~repro.storage.catalog.Catalog` — the set of tables known to a
   database instance.
+* :class:`~repro.storage.buffer.BufferManager` — where those tables
+  physically live: :class:`~repro.storage.buffer.InMemoryBufferManager`
+  keeps the historical RAM-resident semantics, while
+  :class:`~repro.storage.durable.DurableBufferManager` persists columns as
+  memory-mapped files under a ``data_dir`` with a JSON catalog and a
+  write-ahead log (see ``docs/storage.md``).
 * :mod:`~repro.storage.loader` — CSV import/export helpers.
 """
 
+from repro.storage.buffer import BufferManager, ColumnSource, InMemoryBufferManager, PageCache
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column, ColumnType
+from repro.storage.durable import DurableBufferManager
 from repro.storage.index import HashIndex
-from repro.storage.loader import load_csv, save_csv
+from repro.storage.loader import file_fingerprint, load_csv, parse_count, save_csv
 from repro.storage.table import Table
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
+    "BufferManager",
     "Catalog",
     "Column",
+    "ColumnSource",
     "ColumnType",
+    "DurableBufferManager",
     "HashIndex",
+    "InMemoryBufferManager",
+    "PageCache",
     "Table",
+    "WriteAheadLog",
+    "file_fingerprint",
     "load_csv",
+    "parse_count",
     "save_csv",
 ]

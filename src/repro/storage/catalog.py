@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 
 from repro.errors import CatalogError
+from repro.storage.buffer import BufferManager, InMemoryBufferManager
 from repro.storage.index import HashIndex
 from repro.storage.table import Table
 
@@ -16,11 +18,24 @@ class Catalog:
     :mod:`repro.optimizer.statistics` and are only consulted by the
     traditional optimizer baselines, never by the Skinner strategies
     (SkinnerDB "maintains no data statistics", paper §1).
+
+    *Where* tables physically live — RAM arrays or memory-mapped files
+    under a ``data_dir`` — is the buffer manager's business: the catalog
+    forwards every state transition (registration, drops, transaction
+    marks, commits) to it and keeps only the name-to-table mapping.  With
+    a durable backend, :meth:`bootstrap`-recovered tables appear here on
+    construction and :meth:`commit` makes mutations survive the process.
     """
 
-    def __init__(self) -> None:
-        self._tables: dict[str, Table] = {}
+    def __init__(self, buffer_manager: BufferManager | None = None) -> None:
+        self._buffer = buffer_manager if buffer_manager is not None else InMemoryBufferManager()
+        self._tables: dict[str, Table] = self._buffer.bootstrap()
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    @property
+    def buffer_manager(self) -> BufferManager:
+        """The storage backend serving this catalog's tables."""
+        return self._buffer
 
     # ------------------------------------------------------------------
     # tables
@@ -29,7 +44,7 @@ class Catalog:
         """Register a table; raises if the name exists unless ``replace``."""
         if table.name in self._tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[table.name] = table
+        self._tables[table.name] = self._buffer.register_table(table, replace=replace)
         self._indexes = {
             key: index for key, index in self._indexes.items() if key[0] != table.name
         }
@@ -38,6 +53,7 @@ class Catalog:
         """Remove a table and its indexes."""
         if name not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
+        self._buffer.drop_table(name)
         del self._tables[name]
         self._indexes = {key: index for key, index in self._indexes.items() if key[0] != name}
 
@@ -63,6 +79,17 @@ class Catalog:
         return len(self._tables)
 
     # ------------------------------------------------------------------
+    # ingest fingerprints (idempotent load_csv)
+    # ------------------------------------------------------------------
+    def record_ingest(self, name: str, fingerprint: str) -> None:
+        """Remember the source-file fingerprint behind an ingested table."""
+        self._buffer.record_ingest(name, fingerprint)
+
+    def ingest_fingerprint(self, name: str) -> str | None:
+        """The recorded ingest fingerprint of a table, if any."""
+        return self._buffer.ingest_fingerprint(name)
+
+    # ------------------------------------------------------------------
     # indexes
     # ------------------------------------------------------------------
     def build_index(self, table_name: str, column_name: str) -> HashIndex:
@@ -84,22 +111,32 @@ class Catalog:
     # ------------------------------------------------------------------
     # snapshots (schema transactions)
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict[str, Table]:
-        """A restorable snapshot of the registered tables.
+    def snapshot(self) -> Any:
+        """An opaque restorable mark of the current schema state.
 
-        Tables are immutable, so a shallow copy of the name-to-table
-        mapping captures the full schema state; the PEP 249 connection
-        takes one at the first mutation of a transaction and rolls back
-        to it via :meth:`restore`.
+        The in-memory backend returns a shallow copy of the name-to-table
+        mapping (tables are immutable, so that captures the full state);
+        the durable backend returns a write-ahead-log byte offset, so no
+        state is copied at all.  The PEP 249 connection takes one at the
+        first mutation of a transaction and rolls back to it via
+        :meth:`restore`.
         """
-        return dict(self._tables)
+        return self._buffer.snapshot(self._tables)
 
-    def restore(self, snapshot: dict[str, Table]) -> None:
+    def restore(self, snapshot: Any) -> None:
         """Reset the catalog to a previously taken :meth:`snapshot`.
 
         All materialized indexes are dropped: an index built between
         snapshot and restore may describe a table object the rollback just
         discarded, and indexes are pure caches that rebuild on demand.
         """
-        self._tables = dict(snapshot)
+        self._tables = self._buffer.restore(snapshot)
         self._indexes = {}
+
+    def commit(self) -> None:
+        """Make every mutation since the last commit durable."""
+        self._buffer.commit()
+
+    def close(self) -> None:
+        """Release the storage backend (checkpoint + close handles)."""
+        self._buffer.close()

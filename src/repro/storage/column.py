@@ -11,12 +11,15 @@ integers.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Sequence
-from typing import Any
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.errors import SchemaError
+
+if TYPE_CHECKING:
+    from repro.storage.buffer import ColumnSource
 
 
 class ColumnType(enum.Enum):
@@ -40,7 +43,18 @@ class Column:
         inferred from the values.
     """
 
-    __slots__ = ("_ctype", "_data", "_dictionary", "_code_of", "_decoded", "_translations")
+    __slots__ = (
+        "_ctype",
+        "_data",
+        "_dictionary",
+        "_code_of",
+        "_decoded",
+        "_translations",
+        "_fetch",
+        "_dict_fetch",
+        "_length",
+        "source",
+    )
 
     def __init__(self, values: Iterable[Any], ctype: ColumnType | None = None) -> None:
         values = list(values) if not isinstance(values, np.ndarray) else values
@@ -51,6 +65,9 @@ class Column:
         self._code_of: dict[str, int] | None = None
         self._decoded: np.ndarray | None = None
         self._translations: dict[int, tuple["Column", np.ndarray]] = {}
+        self._fetch: Callable[[], np.ndarray] | None = None
+        self._dict_fetch: Callable[[], list[str]] | None = None
+        self.source: ColumnSource | None = None
         if ctype is ColumnType.INT:
             self._data = np.asarray(values, dtype=np.int64)
         elif ctype is ColumnType.FLOAT:
@@ -62,6 +79,7 @@ class Column:
             self._code_of = code_of
         else:  # pragma: no cover - exhaustive enum
             raise SchemaError(f"unknown column type {ctype!r}")
+        self._length = int(self._data.shape[0])
 
     @classmethod
     def from_physical(
@@ -83,6 +101,10 @@ class Column:
         column._data = data
         column._decoded = None
         column._translations = {}
+        column._fetch = None
+        column._dict_fetch = None
+        column._length = int(data.shape[0])
+        column.source = None
         if ctype is ColumnType.STRING:
             if dictionary is None:
                 raise SchemaError("string columns need a dictionary")
@@ -95,6 +117,42 @@ class Column:
             column._code_of = None
         return column
 
+    @classmethod
+    def lazy(
+        cls,
+        ctype: ColumnType,
+        length: int,
+        fetch: Callable[[], np.ndarray],
+        *,
+        dictionary_fetch: Callable[[], list[str]] | None = None,
+        source: "ColumnSource | None" = None,
+    ) -> "Column":
+        """Build a column whose physical array is materialized on demand.
+
+        ``fetch`` is called on *every* physical access and returns the
+        array; the durable buffer manager routes it through its bounded
+        page cache, so residency (and eviction) is governed there rather
+        than pinned per column.  String columns load their dictionary once
+        via ``dictionary_fetch`` (dictionaries are metadata-sized and are
+        needed to plan predicates, so they stay resident).  ``source``
+        carries the on-disk locator that lets morsel workers re-map the
+        file instead of receiving a shared-memory copy.
+        """
+        if (dictionary_fetch is not None) != (ctype is ColumnType.STRING):
+            raise SchemaError("dictionary_fetch is for (exactly) string columns")
+        column = cls.__new__(cls)
+        column._ctype = ctype
+        column._data = None
+        column._decoded = None
+        column._translations = {}
+        column._fetch = fetch
+        column._dict_fetch = dictionary_fetch
+        column._length = int(length)
+        column.source = source
+        column._dictionary = None
+        column._code_of = None
+        return column
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
@@ -105,8 +163,16 @@ class Column:
 
     @property
     def data(self) -> np.ndarray:
-        """The physical numpy array (codes for string columns)."""
-        return self._data
+        """The physical numpy array (codes for string columns).
+
+        Lazily-materialized columns fetch it through their buffer manager
+        on every access — the page cache, not the column, decides how long
+        the array stays resident.
+        """
+        if self._data is not None:
+            return self._data
+        assert self._fetch is not None
+        return self._fetch()
 
     @property
     def decoded_data(self) -> np.ndarray:
@@ -118,20 +184,28 @@ class Column:
         sorting keep exact Python semantics.
         """
         if self._ctype is not ColumnType.STRING:
-            return self._data
+            return self.data
         if self._decoded is None:
-            self._decoded = np.asarray(self.dictionary, dtype=object)[self._data]
+            self._decoded = np.asarray(self.dictionary, dtype=object)[self.data]
         return self._decoded
 
     @property
     def dictionary(self) -> list[str]:
         """Dictionary of a string column (distinct values, indexed by code)."""
+        if self._dictionary is None and self._dict_fetch is not None:
+            self._dictionary = self._dict_fetch()
         if self._dictionary is None:
             raise SchemaError("only string columns have a dictionary")
         return self._dictionary
 
+    def _code_map(self) -> dict[str, int]:
+        """Value-to-code map of a string column, built on first use."""
+        if self._code_of is None:
+            self._code_of = {value: i for i, value in enumerate(self.dictionary)}
+        return self._code_of
+
     def __len__(self) -> int:
-        return int(self._data.shape[0])
+        return self._length
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
@@ -140,8 +214,15 @@ class Column:
             return False
         return all(self.value(i) == other.value(i) for i in range(len(self)))
 
-    def __hash__(self) -> int:  # pragma: no cover - columns used as values, not keys
-        return id(self)
+    def __hash__(self) -> int:
+        # Must agree with __eq__, which compares *decoded* values: integer
+        # columns hash their physical bytes, but float columns go through
+        # Python floats (0.0 == -0.0 yet their bytes differ) and string
+        # columns through decoded values (equal columns may order their
+        # dictionaries differently, giving different code arrays).
+        if self._ctype is ColumnType.INT:
+            return hash((self._ctype, self.data.tobytes()))
+        return hash((self._ctype, tuple(self.values())))
 
     def __repr__(self) -> str:
         return f"Column({self._ctype.value}, n={len(self)})"
@@ -151,7 +232,7 @@ class Column:
     # ------------------------------------------------------------------
     def value(self, row: int) -> Any:
         """Return the decoded value at ``row``."""
-        raw = self._data[row]
+        raw = self.data[row]
         if self._ctype is ColumnType.STRING:
             return self.dictionary[int(raw)]
         if self._ctype is ColumnType.INT:
@@ -160,11 +241,17 @@ class Column:
 
     def values(self) -> list[Any]:
         """Return all decoded values as a Python list."""
-        return [self.value(i) for i in range(len(self))]
+        data = self.data
+        if self._ctype is ColumnType.STRING:
+            dictionary = self.dictionary
+            return [dictionary[int(code)] for code in data]
+        if self._ctype is ColumnType.INT:
+            return [int(v) for v in data]
+        return [float(v) for v in data]
 
     def raw(self, row: int) -> Any:
         """Return the physical value at ``row`` (code for strings)."""
-        return self._data[row]
+        return self.data[row]
 
     def encode(self, value: Any) -> Any:
         """Translate a literal into the physical domain of this column.
@@ -176,8 +263,7 @@ class Column:
         if self._ctype is ColumnType.STRING:
             if not isinstance(value, str):
                 raise SchemaError(f"cannot compare string column with {value!r}")
-            assert self._code_of is not None
-            return self._code_of.get(value, -1)
+            return self._code_map().get(value, -1)
         return value
 
     def translate_codes(self, other: "Column") -> np.ndarray:
@@ -196,13 +282,13 @@ class Column:
         """
         if self._ctype is not ColumnType.STRING or other._ctype is not ColumnType.STRING:
             raise SchemaError("translate_codes requires two string columns")
-        assert self._code_of is not None
         cached = self._translations.get(id(other))
         if cached is not None and cached[0] is other:
             return cached[1]
         sentinel = len(self.dictionary)
+        code_of = self._code_map()
         translation = np.asarray(
-            [self._code_of.get(value, sentinel) for value in other.dictionary],
+            [code_of.get(value, sentinel) for value in other.dictionary],
             dtype=np.int64,
         )
         self._translations[id(other)] = (other, translation)
@@ -214,10 +300,12 @@ class Column:
     def take(self, positions: np.ndarray | Sequence[int]) -> "Column":
         """Return a new column restricted to ``positions`` (in that order)."""
         positions = np.asarray(positions, dtype=np.int64)
+        data = self.data
         if self._ctype is ColumnType.STRING:
-            values = [self.dictionary[int(code)] for code in self._data[positions]]
+            dictionary = self.dictionary
+            values = [dictionary[int(code)] for code in data[positions]]
             return Column(values, ColumnType.STRING)
-        return Column.from_physical(self._data[positions], self._ctype)
+        return Column.from_physical(np.asarray(data[positions]), self._ctype)
 
     def compare(self, op: str, literal: Any) -> np.ndarray:
         """Return a boolean mask of rows satisfying ``column <op> literal``.
@@ -229,20 +317,20 @@ class Column:
             decoded = np.asarray(self.values(), dtype=object)
             return _apply_comparison(decoded, op, literal)
         physical = self.encode(literal) if self._ctype is ColumnType.STRING else literal
-        return _apply_comparison(self._data, op, physical)
+        return _apply_comparison(self.data, op, physical)
 
     def isin(self, literals: Iterable[Any]) -> np.ndarray:
         """Return a boolean mask of rows whose value is in ``literals``."""
         if self._ctype is ColumnType.STRING:
             codes = [self.encode(v) for v in literals]
-            return np.isin(self._data, [c for c in codes if c >= 0])
-        return np.isin(self._data, list(literals))
+            return np.isin(self.data, [c for c in codes if c >= 0])
+        return np.isin(self.data, list(literals))
 
     def distinct_count(self) -> int:
         """Number of distinct values in the column."""
         if self._ctype is ColumnType.STRING:
             return len(self.dictionary)
-        return int(np.unique(self._data).shape[0])
+        return int(np.unique(self.data).shape[0])
 
     def min_max(self) -> tuple[Any, Any]:
         """Minimum and maximum decoded value (empty columns raise)."""
@@ -251,7 +339,8 @@ class Column:
         if self._ctype is ColumnType.STRING:
             values = self.values()
             return min(values), max(values)
-        return self.value(int(np.argmin(self._data))), self.value(int(np.argmax(self._data)))
+        data = self.data
+        return self.value(int(np.argmin(data))), self.value(int(np.argmax(data)))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,411 @@
+"""The durable buffer manager: memory-mapped columns, catalog, and WAL.
+
+On-disk layout under ``data_dir`` (full format in ``docs/storage.md``)::
+
+    data_dir/
+      catalog.json     # checkpoint: schemas, column locators, fingerprints
+      wal.log          # record-structured WAL since the last checkpoint
+      cols/
+        <table>-<generation>.<column>.arr    # raw little-endian int64/float64
+        <table>-<generation>.<column>.dict   # JSON string dictionary sidecar
+
+Column payloads are written (and fsynced) *before* the WAL record that
+references them, WAL commit records are fsynced, and ``catalog.json`` is
+replaced atomically at checkpoints — so a process killed at any instant
+reopens to exactly the last committed transaction:
+
+1. load ``catalog.json`` (the checkpoint state);
+2. replay the WAL's committed prefix on top of it; discard any tail after
+   the last commit record (an uncommitted transaction or a torn write);
+3. checkpoint the recovered state, truncate the WAL, and delete column
+   files no table references anymore (payloads of rolled-back or replaced
+   generations).
+
+Physical arrays are served through a bounded :class:`~repro.storage.buffer.
+PageCache` of ``np.memmap`` views, so the working set — not the dataset —
+must fit the buffer pool; a fresh process answers its first query without
+re-parsing CSVs (ingest fingerprints make ``load_csv`` idempotent).
+Snapshots for schema transactions are WAL byte offsets: rollback truncates
+the log to the mark and rebuilds state by replaying it, instead of deep
+copies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import InterfaceError, SchemaError
+from repro.storage.buffer import BufferManager, ColumnSource, PageCache
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+from repro.storage.wal import WriteAheadLog
+
+#: On-disk format version; bumped on layout changes.  Opening a data_dir
+#: written by a different version fails fast instead of misreading it.
+FORMAT_VERSION = 1
+
+_CATALOG_FILE = "catalog.json"
+_WAL_FILE = "wal.log"
+_COLS_DIR = "cols"
+
+#: Default checkpoint threshold: commit() folds the WAL into catalog.json
+#: once the log outgrows this, bounding replay work on the next open.
+_CHECKPOINT_BYTES = 4 * 2**20
+
+_DTYPE_OF_CTYPE = {
+    ColumnType.INT: "<i8",
+    ColumnType.FLOAT: "<f8",
+    ColumnType.STRING: "<i8",  # dictionary codes
+}
+
+
+class DurableBufferManager(BufferManager):
+    """Columns as memmap files + JSON catalog + write-ahead log.
+
+    Parameters
+    ----------
+    data_dir:
+        Root directory; created (with parents) when missing.
+    pool_bytes:
+        Byte capacity of the page cache serving physical arrays.
+    checkpoint_bytes:
+        WAL size above which a commit also checkpoints.
+    """
+
+    durable = True
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        pool_bytes: int = 256 * 2**20,
+        checkpoint_bytes: int = _CHECKPOINT_BYTES,
+    ) -> None:
+        self._dir = Path(data_dir)
+        self._cache = PageCache(pool_bytes)
+        self._checkpoint_bytes = checkpoint_bytes
+        self._wal = WriteAheadLog(self._dir / _WAL_FILE)
+        self._state: dict[str, Any] = {}
+        self._generation = 0
+        #: Facts about the last bootstrap, for tests and diagnostics.
+        self.recovery_info: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # bootstrap / recovery
+    # ------------------------------------------------------------------
+    @property
+    def data_dir(self) -> Path:
+        return self._dir
+
+    def bootstrap(self) -> dict[str, Table]:
+        if self._dir.exists() and not self._dir.is_dir():
+            raise InterfaceError(f"data_dir {str(self._dir)!r} is not a directory")
+        (self._dir / _COLS_DIR).mkdir(parents=True, exist_ok=True)
+        catalog_path = self._dir / _CATALOG_FILE
+        if catalog_path.exists():
+            try:
+                state = json.loads(catalog_path.read_text())
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise InterfaceError(
+                    f"data_dir {str(self._dir)!r} has a corrupt catalog.json"
+                ) from exc
+            version = state.get("format_version")
+            if version != FORMAT_VERSION:
+                raise InterfaceError(
+                    f"data_dir {str(self._dir)!r} has format version {version!r}; "
+                    f"this build reads version {FORMAT_VERSION}"
+                )
+            self._state = state
+        else:
+            self._state = _empty_state()
+        records, clean = self._wal.read_records()
+        committed = WriteAheadLog.committed_prefix(records)
+        for record in committed:
+            self._apply(record)
+        self.recovery_info = {
+            "replayed_records": len(committed),
+            "discarded_records": len(records) - self._commit_marker_count(records)
+            - len(committed),
+            "torn_tail": not clean,
+        }
+        self._generation = self._max_generation() + 1
+        # Fold the recovered state into a fresh checkpoint: the WAL empties,
+        # and payload files of discarded (uncommitted / torn) transactions
+        # are deleted.  Idempotent, so a clean open just rewrites the same
+        # catalog.json.
+        self._checkpoint()
+        return self._build_tables()
+
+    @staticmethod
+    def _commit_marker_count(records: list[tuple[int, dict[str, Any]]]) -> int:
+        return sum(1 for _, record in records if record.get("op") == "commit")
+
+    def _max_generation(self) -> int:
+        generations = [
+            int(meta.get("generation", 0)) for meta in self._state["tables"].values()
+        ]
+        return max(generations, default=int(self._state.get("next_generation", 1)) - 1)
+
+    def _apply(self, record: dict[str, Any]) -> None:
+        """Apply one WAL mutation record to the in-memory state."""
+        op = record.get("op")
+        if op == "add_table":
+            self._state["tables"][record["name"]] = record["meta"]
+        elif op == "drop_table":
+            self._state["tables"].pop(record["name"], None)
+            self._state["ingests"].pop(record["name"], None)
+        elif op == "ingest":
+            self._state["ingests"][record["name"]] = record["fingerprint"]
+        # Unknown ops are ignored: forward-compatible replay within one
+        # format version.
+
+    # ------------------------------------------------------------------
+    # table materialization (lazy memmap views)
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> dict[str, Table]:
+        return {
+            name: self._build_table(name, meta)
+            for name, meta in self._state["tables"].items()
+        }
+
+    def _build_table(self, name: str, meta: dict[str, Any]) -> Table:
+        columns: dict[str, Column] = {}
+        for column_meta in meta["columns"]:
+            columns[column_meta["name"]] = self._build_column(column_meta)
+        return Table(name, columns)
+
+    def _build_column(self, meta: dict[str, Any]) -> Column:
+        ctype = ColumnType(meta["ctype"])
+        source = ColumnSource(
+            path=str(self._dir / meta["file"]),
+            dtype=meta["dtype"],
+            length=int(meta["length"]),
+            dictionary_path=(
+                str(self._dir / meta["dictionary_file"])
+                if meta.get("dictionary_file")
+                else None
+            ),
+        )
+        fetch = lambda: self._cache.get(  # noqa: E731 - closure over source
+            source.path, lambda: _open_array(source)
+        )
+        dictionary_fetch = (
+            (lambda: _load_dictionary(source.dictionary_path))
+            if source.dictionary_path is not None
+            else None
+        )
+        return Column.lazy(
+            ctype,
+            source.length,
+            fetch,
+            dictionary_fetch=dictionary_fetch,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, *, replace: bool = False) -> Table:
+        """Write the table's columns to files and log the registration.
+
+        The returned table's columns are lazily materialized memmap views
+        served by the page cache — the caller's RAM-resident arrays become
+        garbage once the caller drops them.
+        """
+        generation = self._generation
+        self._generation += 1
+        columns_meta: list[dict[str, Any]] = []
+        for column_name in table.column_names:
+            column = table.column(column_name)
+            stem = f"{table.name}-{generation}.{column_name}"
+            array_file = f"{_COLS_DIR}/{stem}.arr"
+            _write_array(self._dir / array_file, column.data)
+            dictionary_file = None
+            if column.ctype is ColumnType.STRING:
+                dictionary_file = f"{_COLS_DIR}/{stem}.dict"
+                _write_json(self._dir / dictionary_file, column.dictionary)
+            columns_meta.append({
+                "name": column_name,
+                "ctype": column.ctype.value,
+                "dtype": _DTYPE_OF_CTYPE[column.ctype],
+                "file": array_file,
+                "length": len(column),
+                "dictionary_file": dictionary_file,
+            })
+        meta = {
+            "generation": generation,
+            "rows": table.num_rows,
+            "columns": columns_meta,
+        }
+        record = {"op": "add_table", "name": table.name, "replace": bool(replace),
+                  "meta": meta}
+        self._wal.append(record)
+        self._apply(record)
+        return self._build_table(table.name, meta)
+
+    def drop_table(self, name: str) -> None:
+        record = {"op": "drop_table", "name": name}
+        self._wal.append(record)
+        self._apply(record)
+
+    def record_ingest(self, name: str, fingerprint: str) -> None:
+        record = {"op": "ingest", "name": name, "fingerprint": fingerprint}
+        self._wal.append(record)
+        self._apply(record)
+
+    def ingest_fingerprint(self, name: str) -> str | None:
+        return self._state["ingests"].get(name)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def snapshot(self, tables: dict[str, Table]) -> Any:
+        """A WAL byte-offset mark.
+
+        Taken at the first mutation of a transaction, i.e. when every log
+        record so far belongs to a committed transaction — rollback can
+        therefore rebuild state by truncating to the mark and replaying
+        everything that remains.
+        """
+        return ("wal", self._wal.size())
+
+    def restore(self, token: Any) -> dict[str, Table]:
+        kind, offset = token
+        if kind != "wal":  # pragma: no cover - defensive
+            raise SchemaError(f"not a durable snapshot token: {token!r}")
+        self._wal.truncate(int(offset))
+        catalog_path = self._dir / _CATALOG_FILE
+        self._state = (
+            json.loads(catalog_path.read_text())
+            if catalog_path.exists()
+            else _empty_state()
+        )
+        records, _ = self._wal.read_records()
+        for _, record in records:
+            self._apply(record)
+        # Generations stay monotonic across rollbacks so a re-registered
+        # table can never collide with an orphaned payload file that a
+        # live column still maps.
+        self._generation = max(self._generation, self._max_generation() + 1)
+        return self._build_tables()
+
+    def commit(self) -> None:
+        """Fsync a commit record; checkpoint when the WAL has outgrown."""
+        if self._wal.uncommitted_records == 0:
+            return
+        size = self._wal.commit()
+        if size >= self._checkpoint_bytes:
+            self._checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        """Fold the committed state into catalog.json and empty the WAL.
+
+        Must only run at a commit boundary (no uncommitted WAL tail) —
+        otherwise uncommitted mutations would be promoted into the
+        checkpoint.  Orphaned column files (rolled-back or replaced
+        generations) are deleted afterwards.
+        """
+        assert self._wal.uncommitted_records == 0, "checkpoint inside a transaction"
+        self._state["format_version"] = FORMAT_VERSION
+        self._state["next_generation"] = self._generation
+        catalog_path = self._dir / _CATALOG_FILE
+        tmp_path = catalog_path.with_suffix(".json.tmp")
+        with open(tmp_path, "w") as handle:
+            json.dump(self._state, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, catalog_path)
+        _fsync_dir(self._dir)
+        self._wal.reset()
+        self._remove_orphans()
+
+    def _remove_orphans(self) -> None:
+        referenced: set[str] = set()
+        for meta in self._state["tables"].values():
+            for column_meta in meta["columns"]:
+                referenced.add(column_meta["file"])
+                if column_meta.get("dictionary_file"):
+                    referenced.add(column_meta["dictionary_file"])
+        cols_dir = self._dir / _COLS_DIR
+        for path in cols_dir.iterdir():
+            relative = f"{_COLS_DIR}/{path.name}"
+            if relative not in referenced:
+                self._cache.invalidate(str(path))
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats()
+
+    def close(self) -> None:
+        """Checkpoint (when clean) and release handles.
+
+        With an uncommitted WAL tail — a caller closing mid-transaction —
+        the checkpoint is skipped: the next open discards the tail, which
+        is exactly the rollback the unfinished transaction deserves.
+        """
+        if self._wal.uncommitted_records == 0:
+            self._checkpoint()
+        self._wal.close()
+        self._cache.clear()
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def _empty_state() -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "next_generation": 1,
+        "tables": {},
+        "ingests": {},
+    }
+
+
+def _write_array(path: Path, array: np.ndarray) -> None:
+    """Write a flat array (fsynced — payloads precede their WAL record)."""
+    with open(path, "wb") as handle:
+        np.ascontiguousarray(array).tofile(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _write_json(path: Path, value: Any) -> None:
+    with open(path, "w") as handle:
+        json.dump(value, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _open_array(source: ColumnSource) -> np.ndarray:
+    """Map one column file read-only (empty columns skip the mmap)."""
+    if source.length == 0:
+        return np.empty(0, dtype=np.dtype(source.dtype))
+    return np.memmap(
+        source.path, dtype=np.dtype(source.dtype), mode="r", shape=(source.length,)
+    )
+
+
+def _load_dictionary(path: str) -> list[str]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform specific
+        pass
+    finally:
+        os.close(fd)

@@ -9,6 +9,7 @@ generated workloads and so users can load their own small datasets.
 from __future__ import annotations
 
 import csv
+import hashlib
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import Any
@@ -16,6 +17,25 @@ from typing import Any
 from repro.errors import SchemaError
 from repro.storage.column import Column, ColumnType
 from repro.storage.table import Table
+
+#: Count of full CSV parses performed by this process.  Warm-start tests
+#: and ``bench_cold_vs_warm_start`` assert on it: an idempotent re-ingest
+#: (catalog fingerprint matches) must leave it unchanged.
+_PARSE_COUNT = 0
+
+
+def parse_count() -> int:
+    """Number of CSV files fully parsed by this process so far."""
+    return _PARSE_COUNT
+
+
+def file_fingerprint(path: str | Path) -> str:
+    """SHA-256 of a file's bytes — the identity key of idempotent ingest."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def load_csv(
@@ -34,6 +54,8 @@ def load_csv(
     schema:
         Optional explicit column types.  Columns not listed are inferred.
     """
+    global _PARSE_COUNT
+    _PARSE_COUNT += 1
     path = Path(path)
     name = table_name or path.stem
     with path.open(newline="") as handle:

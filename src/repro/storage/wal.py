@@ -1,0 +1,182 @@
+"""A record-structured write-ahead log for the durable storage backend.
+
+The log is an append-only file of self-describing records.  Each record is
+framed as an 8-byte header — little-endian ``(payload_length, crc32)`` —
+followed by a UTF-8 JSON payload.  The CRC covers the payload bytes, so a
+torn write (process killed mid-append, disk full) is detected as a framing
+or checksum violation and everything from the damaged record onwards is
+discarded on replay.  This is exactly the classical ARIES-style contract
+the recovery protocol in ``docs/storage.md`` relies on:
+
+* mutation records (``add_table`` / ``drop_table`` / ``ingest``) are
+  appended — and flushed to the OS — *before* the in-memory catalog state
+  changes;
+* a ``commit`` record is appended with an ``fsync`` when the transaction
+  commits, making everything before it durable;
+* on open, records are replayed **up to the last commit record**; any tail
+  after it (an uncommitted transaction, or garbage from a torn write) is
+  ignored and truncated away by the next checkpoint.
+
+The log stores only *metadata* (schemas, file locators, fingerprints) —
+column payloads live in their own memory-mapped files, written and fsynced
+before the record that references them is appended (the usual
+data-before-log-pointer ordering for out-of-line payloads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+#: Record header: payload byte length + CRC32 of the payload bytes.
+RECORD_HEADER = struct.Struct("<II")
+
+#: The record terminating a transaction; everything before the last one of
+#: these is durable, everything after it is discarded on replay.
+COMMIT_OP = "commit"
+
+
+class WriteAheadLog:
+    """Append-only record log with torn-tail detection.
+
+    One instance owns one log file.  Appends go through a single handle
+    opened lazily in append mode and flushed per record (so a concurrent
+    :meth:`read_records` — e.g. a rollback rebuilding state — observes every
+    record written so far); ``fsync`` happens only on :meth:`commit`, which
+    is what makes commits the durability boundary.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._file: Any = None
+        #: Records appended since the last commit record (or open).
+        self._uncommitted = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _handle(self):
+        if self._file is None:
+            self._file = open(self._path, "ab")
+        return self._file
+
+    def append(self, record: dict[str, Any], *, sync: bool = False) -> int:
+        """Append one record; returns the log size after the append.
+
+        The record is flushed to the OS (visible to readers, survives the
+        *process* dying) but only fsynced — durable against the *machine*
+        dying — when ``sync`` is true.
+        """
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        header = RECORD_HEADER.pack(len(payload), zlib.crc32(payload))
+        handle = self._handle()
+        handle.write(header + payload)
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+        if record.get("op") == COMMIT_OP:
+            self._uncommitted = 0
+        else:
+            self._uncommitted += 1
+        return handle.tell()
+
+    def commit(self) -> int:
+        """Append a fsynced commit record (the durability boundary)."""
+        return self.append({"op": COMMIT_OP}, sync=True)
+
+    @property
+    def uncommitted_records(self) -> int:
+        """Records appended since the last commit (this handle's view)."""
+        return self._uncommitted
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Current log size in bytes (the snapshot mark for rollbacks)."""
+        if self._file is not None:
+            return self._file.tell()
+        try:
+            return self._path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def read_records(self) -> tuple[list[tuple[int, dict[str, Any]]], bool]:
+        """All well-formed records as ``(end_offset, record)`` pairs.
+
+        Returns ``(records, clean)`` where ``clean`` is false when the file
+        ends in a torn or corrupt record (which is then excluded, along with
+        everything after it).
+        """
+        try:
+            raw = self._path.read_bytes()
+        except FileNotFoundError:
+            return [], True
+        records: list[tuple[int, dict[str, Any]]] = []
+        offset = 0
+        while offset < len(raw):
+            if offset + RECORD_HEADER.size > len(raw):
+                return records, False
+            length, crc = RECORD_HEADER.unpack_from(raw, offset)
+            start = offset + RECORD_HEADER.size
+            end = start + length
+            if end > len(raw):
+                return records, False
+            payload = raw[start:end]
+            if zlib.crc32(payload) != crc:
+                return records, False
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return records, False
+            if not isinstance(record, dict):
+                return records, False
+            records.append((end, record))
+            offset = end
+        return records, True
+
+    @staticmethod
+    def committed_prefix(
+        records: list[tuple[int, dict[str, Any]]],
+    ) -> list[dict[str, Any]]:
+        """The records of completed transactions: up to the last commit.
+
+        Commit markers themselves are filtered out — callers get exactly the
+        mutation records that must be replayed onto the checkpoint state.
+        """
+        last_commit = -1
+        for i, (_, record) in enumerate(records):
+            if record.get("op") == COMMIT_OP:
+                last_commit = i
+        return [
+            record
+            for _, record in records[: last_commit + 1]
+            if record.get("op") != COMMIT_OP
+        ]
+
+    # ------------------------------------------------------------------
+    # rollback / checkpoint
+    # ------------------------------------------------------------------
+    def truncate(self, offset: int) -> None:
+        """Cut the log back to ``offset`` bytes (rollback to a mark)."""
+        self.close()
+        if self._path.exists():
+            with open(self._path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._uncommitted = 0
+
+    def reset(self) -> None:
+        """Empty the log (after a checkpoint made its contents redundant)."""
+        self.truncate(0)
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily on the next append)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None

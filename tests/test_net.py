@@ -64,12 +64,17 @@ class TestDsnParsing:
     def test_full_dsn(self):
         assert parse_dsn(
             "repro://db.example:8123/?tenant=ops&timeout=2.5&workers=4"
-        ) == ("db.example", 8123, "ops", 2.5, 4)
+            "&data_dir=/var/lib/repro"
+        ) == ("db.example", 8123, "ops", 2.5, 4, "/var/lib/repro")
 
     def test_defaults(self):
         assert parse_dsn("repro://localhost/") == (
-            "localhost", DEFAULT_PORT, None, None, None
+            "localhost", DEFAULT_PORT, None, None, None, None
         )
+
+    def test_rejects_blank_data_dir(self):
+        with pytest.raises(InterfaceError, match="data_dir"):
+            parse_dsn("repro://localhost/?data_dir=")
 
     def test_rejects_bad_workers(self):
         with pytest.raises(InterfaceError, match="workers"):
