@@ -61,8 +61,11 @@ def _sweep_stray_data_dirs():
     The storage benchmarks keep all on-disk state (CSV fixtures, durable
     ``data_dir``) in one ``tempfile.mkdtemp(prefix="repro-bench-data-")``
     directory and remove it themselves; a run that dies mid-experiment
-    leaves it behind.  Sweeping before *and* after the session keeps the
-    runner's temp space bounded no matter how the previous run ended.
+    leaves it behind.  The external-engine benchmarks likewise scratch
+    their sqlite mirrors into ``repro-mirror-*.sqlite`` files deleted on
+    ``Connection.close()``.  Sweeping both patterns before *and* after the
+    session keeps the runner's temp space bounded no matter how the
+    previous run ended.
     """
     _remove_stray_data_dirs()
     yield
@@ -74,6 +77,13 @@ def _remove_stray_data_dirs() -> None:
     for path in glob.glob(pattern):
         if os.path.isdir(path):
             shutil.rmtree(path, ignore_errors=True)
+    mirrors = os.path.join(tempfile.gettempdir(), "repro-mirror-*.sqlite")
+    for path in glob.glob(mirrors):
+        if os.path.isfile(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
 
 def _smoke_kwargs(kwargs: dict[str, Any]) -> dict[str, Any]:

@@ -78,7 +78,10 @@ def main() -> None:
           f"charges identical to a non-streamed run.")
 
     # -- engines are pluggable: anything in the registry is selectable,
-    # including engines registered by user code (see docs/api.md).
+    # including engines registered by user code (see docs/api.md) and the
+    # external-DBMS backends like "skinner_g_sqlite", which run learned
+    # join orders on a real host database (see docs/engines.md and
+    # examples/external_engine_quickstart.py).
     cursor.execute(
         "SELECT COUNT(*) AS n FROM films f, rentals r WHERE f.fid = r.fid",
         engine="traditional",

@@ -72,6 +72,7 @@ def connect(
     timeout: float | None = None,
     workers: int | None = None,
     data_dir: str | Path | None = None,
+    engine: str | None = None,
 ) -> Connection:
     """Open a connection — to a fresh in-memory database, or to a server.
 
@@ -103,6 +104,14 @@ def connect(
     format-version mismatch on open) raise
     :class:`~repro.errors.InterfaceError` here, at connect time.
 
+    ``engine`` sets this connection's default engine for executions that
+    name none, resolved through the identical chain: explicit keyword
+    beats the ``REPRO_ENGINE`` environment variable beats the DSN's
+    ``?engine=`` parameter beats the config's own ``default_engine``.
+    Locally the name is validated against the connection's registry (and
+    remotely against the server's) so unknown engines raise
+    :class:`~repro.errors.InterfaceError` here, at connect time.
+
     >>> import repro.api as db_api
     >>> conn = db_api.connect()
     >>> conn.create_table("r", {"id": [1, 2], "x": [10, 20]})  # doctest: +ELLIPSIS
@@ -115,17 +124,27 @@ def connect(
     """
     workers = _resolve_workers(workers)
     data_dir = _resolve_data_dir(data_dir)
+    engine = _resolve_engine(engine)
     if isinstance(config, str):
         from repro.net.client import RemoteTransport
 
         transport = RemoteTransport.from_dsn(
-            config, tenant=tenant, timeout=timeout, workers=workers, data_dir=data_dir
+            config, tenant=tenant, timeout=timeout, workers=workers,
+            data_dir=data_dir, engine=engine,
         )
         return Connection(transport=transport)
     if workers is not None:
         config = config.with_overrides(parallel_workers=workers)
     if data_dir is not None:
         config = config.with_overrides(data_dir=data_dir)
+    if engine is not None:
+        config = config.with_overrides(default_engine=engine)
+    effective_registry = registry if registry is not None else DEFAULT_REGISTRY
+    if config.default_engine not in effective_registry:
+        raise InterfaceError(
+            f"unknown engine {config.default_engine!r}; registered engines: "
+            f"{', '.join(effective_registry.names())}"
+        )
     return Connection(
         config,
         registry=registry,
@@ -187,6 +206,28 @@ def _resolve_data_dir(data_dir: str | Path | None) -> str | None:
     if path.exists() and not path.is_dir():
         raise InterfaceError(f"{origin} {data_dir!r} exists and is not a directory")
     return data_dir
+
+
+def _resolve_engine(engine: str | None) -> str | None:
+    """Validate the ``engine`` request (kwarg, then environment).
+
+    Returns ``None`` when neither the keyword nor ``REPRO_ENGINE`` asks
+    for anything — the DSN's ``?engine=`` (remote) or the config's own
+    ``default_engine`` (local) then applies untouched.  Shape errors fail
+    *here*, at connect time, mirroring :func:`_resolve_workers`; registry
+    membership is checked by the caller (locally) or the server handshake
+    (remotely), which own the authoritative name sets.
+    """
+    origin = "engine"
+    if engine is None:
+        raw = os.environ.get("REPRO_ENGINE")
+        if raw is None or raw == "":
+            return None
+        engine = raw
+        origin = "REPRO_ENGINE"
+    if not isinstance(engine, str) or not engine.strip():
+        raise InterfaceError(f"{origin} must be a non-empty engine name, got {engine!r}")
+    return engine.lower()
 
 
 def _build_buffer_manager(config: SkinnerConfig):
@@ -287,6 +328,19 @@ class Connection:
         """Tenant identity this connection's submissions are accounted to."""
         return self._transport.tenant
 
+    @property
+    def default_engine(self) -> str:
+        """Engine used when a query names none explicitly.
+
+        Locally the config's ``default_engine`` (after :func:`connect`'s
+        ``engine=``/``REPRO_ENGINE`` resolution); remotely the name the
+        server acknowledged in the handshake.
+        """
+        if self._remote:
+            return getattr(self._transport, "engine", None) or "skinner-c"
+        assert self.config is not None
+        return self.config.default_engine
+
     def close(self) -> None:
         """Close the connection: roll back pending schema changes, close
         cursors, release the transport.  Idempotent (PEP 249)."""
@@ -305,6 +359,11 @@ class Connection:
             except OperationalError:
                 pass
             if self.catalog is not None:
+                # Release external-DBMS mirrors (scratch sqlite files)
+                # before the catalog itself.
+                from repro.external.engines import close_adapters
+
+                close_adapters(self.catalog)
                 self.catalog.close()
 
     def __enter__(self) -> Connection:
@@ -498,6 +557,7 @@ class Connection:
                 "tenant": self.tenant,
                 "workers": getattr(self._transport, "workers", 1),
                 "data_dir": getattr(self._transport, "data_dir", None),
+                "engine": self.default_engine,
                 "engines": None,
                 "autocommit": False,
             }
@@ -507,6 +567,7 @@ class Connection:
             "tenant": self.tenant,
             "workers": self.config.parallel_workers,
             "data_dir": self.config.data_dir,
+            "engine": self.default_engine,
             "engines": self.registry.names(),
             "autocommit": self.autocommit,
         }
@@ -515,7 +576,7 @@ class Connection:
         self,
         query: str | Query,
         *,
-        engine: str = "skinner-c",
+        engine: str | None = None,
         profile: str = "postgres",
         config: SkinnerConfig | None = None,
         threads: int = 1,
@@ -528,12 +589,13 @@ class Connection:
         This is the whole-result convenience path (cursors stream); it
         resolves the engine through the serving side's registry and
         benefits from the serving caches and the join-order warm start.
+        ``engine=None`` selects the connection's :attr:`default_engine`.
         """
         self._check_open()
         return self._transport.execute(
             query,
             params,
-            engine=engine,
+            engine=engine if engine is not None else self.default_engine,
             profile=profile,
             config=config,
             threads=threads,
@@ -545,7 +607,7 @@ class Connection:
         self,
         query: str | Query,
         *,
-        engine: str = "skinner-c",
+        engine: str | None = None,
         profile: str = "postgres",
         config: SkinnerConfig | None = None,
         threads: int = 1,
@@ -564,7 +626,7 @@ class Connection:
         self._check_open()
         self._check_local("execute_direct()")
         parsed = self._resolve_query(query, params)
-        spec = self.registry.resolve(engine)
+        spec = self.registry.resolve(engine if engine is not None else self.default_engine)
         context = EngineContext(
             self.catalog,
             self.udfs,

@@ -49,19 +49,21 @@ class Cursor:
         Default row count of :meth:`fetchmany` (PEP 249; default 1).
     engine, profile:
         Execution knobs applied to subsequent :meth:`execute` calls; both
-        can also be overridden per call.
+        can also be overridden per call.  ``engine`` defaults to the
+        connection's :attr:`~repro.api.connection.Connection.default_engine`
+        (the ``connect(engine=...)`` / ``REPRO_ENGINE`` resolution).
     """
 
     def __init__(
         self,
         connection: Connection,
         *,
-        engine: str = "skinner-c",
+        engine: str | None = None,
         profile: str = "postgres",
     ) -> None:
         self.connection = connection
         self.arraysize = 1
-        self.engine = engine
+        self.engine = engine if engine is not None else connection.default_engine
         self.profile = profile
         self._ticket: int | None = None
         self._description: list[tuple] | None = None

@@ -38,6 +38,7 @@ from repro.baselines.traditional import TraditionalEngine
 from repro.config import SkinnerConfig
 from repro.engine.task import validate_task_contract
 from repro.errors import ReproError
+from repro.external.engines import sqlite_skinner_g_factory, sqlite_skinner_h_factory
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryResult
@@ -330,9 +331,17 @@ BUILTIN_SPECS = (
                needs_statistics=True),
     EngineSpec("eddy", _eddy),
     EngineSpec("reoptimizer", _reoptimizer, needs_statistics=True),
+    # Skinner-G/H over a real host DBMS (the paper's actual deployment):
+    # batches run as order-forcing SQL on a per-catalog sqlite mirror, with
+    # automatic fallback to the internal executor for queries the dialect
+    # cannot replicate (see repro.external).
+    EngineSpec("skinner_g_sqlite", sqlite_skinner_g_factory, episodic=True,
+               task_class=SkinnerGTask),
+    EngineSpec("skinner_h_sqlite", sqlite_skinner_h_factory, episodic=True,
+               needs_statistics=True, task_class=SkinnerHTask),
 )
 
-#: The process-wide default registry with the six built-in engines.
+#: The process-wide default registry with the built-in engines.
 DEFAULT_REGISTRY = EngineRegistry()
 for _spec in BUILTIN_SPECS:
     DEFAULT_REGISTRY.register(_spec)

@@ -17,6 +17,7 @@ from repro.bench.experiments_figures import (
     figure12,
     figure13,
 )
+from repro.bench.experiments_external import external_sqlite
 from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
 from repro.bench.experiments_server import multitenant_server
@@ -56,6 +57,7 @@ EXPERIMENTS = {
     "postprocess_pipeline": postprocess_pipeline,
     "streaming_cursor": streaming_cursor,
     "cold_vs_warm_start": cold_vs_warm_start,
+    "external_sqlite": external_sqlite,
 }
 
 __all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

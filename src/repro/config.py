@@ -143,6 +143,14 @@ class SkinnerConfig:
         resident (memory-mapped) column arrays; least-recently-used
         columns are evicted beyond it.  Ignored by the in-memory backend,
         which by definition pins everything.
+    default_engine:
+        Engine used when a query names none explicitly (cursor ``execute``
+        without ``engine=``, network submissions without an override).
+        :func:`repro.api.connect` resolves its ``engine=`` keyword, the
+        ``REPRO_ENGINE`` environment variable, and the DSN ``?engine=``
+        parameter into this field — exactly like ``workers=`` into
+        ``parallel_workers`` — and validates the name against the engine
+        registry at connect time.
     """
 
     slice_budget: int = 500
@@ -174,6 +182,7 @@ class SkinnerConfig:
     parallel_start_method: str = "spawn"
     data_dir: str | None = None
     buffer_pool_bytes: int = 256 * 2**20
+    default_engine: str = "skinner-c"
 
     def with_overrides(self, **kwargs) -> "SkinnerConfig":
         """Return a copy with the given fields replaced."""

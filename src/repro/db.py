@@ -188,7 +188,7 @@ class SkinnerDB:
         self,
         query: str | Query,
         *,
-        engine: str = "skinner-c",
+        engine: str | None = None,
         profile: str = "postgres",
         config: SkinnerConfig | None = None,
         threads: int = 1,
@@ -210,7 +210,9 @@ class SkinnerDB:
             SQL text or a :class:`Query`.
         engine:
             Any engine registered in the default registry (see
-            :data:`ENGINE_NAMES` and :func:`repro.api.register_engine`).
+            :data:`ENGINE_NAMES` and :func:`repro.api.register_engine`);
+            ``None`` selects the connection's default engine (the
+            ``config.default_engine`` / ``REPRO_ENGINE`` resolution).
         profile:
             Engine profile for the traditional engine and for the generic
             engine underneath Skinner-G/H (``postgres``, ``monetdb``, ...).
@@ -244,7 +246,7 @@ class SkinnerDB:
         self,
         query: str | Query,
         *,
-        engine: str = "skinner-c",
+        engine: str | None = None,
         profile: str = "postgres",
         config: SkinnerConfig | None = None,
         threads: int = 1,

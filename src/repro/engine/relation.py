@@ -102,6 +102,21 @@ class RowIdRelation:
         ids[alias] = np.asarray(positions, dtype=np.int64)
         return RowIdRelation(ids)
 
+    def canonical_order(self, aliases: Sequence[str] | None = None) -> "RowIdRelation":
+        """Rows lexsorted by the given alias order.
+
+        The same canonical order :meth:`JoinResultSet.to_matrix` produces,
+        so a materialized row order becomes a pure function of the result
+        *set* — never of the executor (hash join, external scan, ...) that
+        happened to find the tuples.
+        """
+        key_aliases = list(aliases) if aliases is not None else self.aliases
+        if self._length == 0:
+            return self
+        matrix = np.stack([self._ids[alias] for alias in key_aliases], axis=1)
+        order = np.lexsort(matrix.T[::-1])
+        return RowIdRelation({alias: ids[order] for alias, ids in self._ids.items()})
+
     def index_tuples(self, aliases: Sequence[str] | None = None) -> list[tuple[int, ...]]:
         """Return the result as a list of index tuples ordered by ``aliases``."""
         order = list(aliases) if aliases is not None else self.aliases

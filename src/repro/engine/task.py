@@ -19,21 +19,34 @@ introspectable contract, so the protocol is now a formal ABC:
     An engine: a factory of tasks (episodic engines) and/or a one-shot
     ``execute`` entry point (monolithic engines).
 
-Keeping the ABC in ``repro.engine`` (below both ``repro.skinner`` and
-``repro.serving`` in the import graph) lets engine implementations and the
-serving scheduler share it without cycles.
+:class:`GenericEngine`
+    The execution substrate Skinner-G/H drive their batch attempts on —
+    the paper's "existing DBMS".  The internal left-deep
+    :class:`~repro.engine.executor.PlanExecutor` implements it as the
+    default and A/B reference; :mod:`repro.external` implements it over
+    real databases (sqlite3, Postgres) by emitting order-forcing SQL.
+
+Keeping the ABCs in ``repro.engine`` (below ``repro.skinner``,
+``repro.external``, and ``repro.serving`` in the import graph) lets engine
+implementations and the serving scheduler share them without cycles.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.engine.meter import CostMeter
+    from repro.engine.relation import RowIdRelation
     from repro.query.query import Query
     from repro.result import QueryResult
+    from repro.storage.table import Table
 
 
 class EngineTask(abc.ABC):
@@ -119,6 +132,79 @@ class ExecutionBackend(abc.ABC):
     def task(self, query: "Query", **kwargs: Any) -> EngineTask:
         """Create a resumable task for ``query`` (episodic engines only)."""
         raise ReproError(f"engine {self.name!r} is not episodic")
+
+
+class GenericEngine(abc.ABC):
+    """The execution substrate of one Skinner-G/H query — a pluggable DBMS.
+
+    Skinner-G (Algorithm 1) is a learning layer *on top of* an existing
+    database: it repeatedly asks the host engine to join one batch of the
+    left-most table with the remaining tuples of every other table, under a
+    work-unit budget, in a forced join order.  This ABC is that host-engine
+    contract.  One instance serves exactly one query; the learning run
+    (:class:`~repro.skinner.skinner_g.GenericLearningRun`) and the hybrid's
+    traditional-plan attempts both drive it.
+
+    Budget and accounting contract (the deterministic work-unit clock):
+
+    * Budgets are **work units**, never wall-clock seconds.  Implementations
+      must derive every meter charge from deterministic quantities (rows
+      delivered, engine-reported progress ticks), so that repeated runs of
+      the same query on the same data charge byte-identical work and bench
+      fingerprints stay reproducible.
+    * A timed-out attempt returns ``None`` results and must charge a
+      deterministic amount — the internal executor charges the work it
+      performed up to (and including) the overflowing charge; external
+      adapters charge exactly the budget — so learning trajectories are a
+      pure function of data + knobs.
+    * Row identity: results are **row-position tuples** into the base
+      tables (the internal row-id representation), ordered like
+      ``query.aliases``, so post-processing, deduplication, and result
+      ordering stay inside the reproduction and rows are byte-identical
+      across substrates.
+    """
+
+    @property
+    @abc.abstractmethod
+    def tables(self) -> "Mapping[str, Table]":
+        """Alias-to-table mapping of the query this engine executes."""
+
+    @abc.abstractmethod
+    def pre_process(self, meter: "CostMeter") -> None:
+        """Apply unary predicates to every table, charging ``meter``."""
+
+    @abc.abstractmethod
+    def filtered_positions(self, alias: str) -> "np.ndarray":
+        """Ascending row positions of ``alias`` surviving its unary predicates."""
+
+    @abc.abstractmethod
+    def execute_batch(
+        self,
+        order: Sequence[str],
+        base_positions: "Mapping[str, np.ndarray]",
+        budget: int,
+    ) -> "tuple[CostMeter, list[tuple[int, ...]] | None]":
+        """One batch attempt in the forced ``order`` under ``budget``.
+
+        ``base_positions`` restricts each alias to a subset of its filtered
+        positions (the left-most alias to one batch, the others to their
+        unprocessed remainder).  Returns the meter charged for the attempt
+        and the joined row-position tuples (``query.aliases`` order), or
+        ``None`` when the budget expired first.
+        """
+
+    @abc.abstractmethod
+    def execute_plan(
+        self, order: Sequence[str], budget: int
+    ) -> "tuple[CostMeter, RowIdRelation | None]":
+        """One whole-query attempt in the forced ``order`` under ``budget``.
+
+        Used by Skinner-H's traditional-plan side.  Returns the meter and
+        the complete join relation, or ``None`` on timeout.
+        """
+
+    def close(self) -> None:
+        """Release external resources; idempotent."""
 
 
 #: Method names every episodic task class must provide.

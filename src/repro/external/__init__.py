@@ -1,0 +1,53 @@
+"""External-DBMS execution backends for Skinner-G/H.
+
+The paper positions Skinner-G and Skinner-H as learned join-order layers
+*on top of an existing database system*: the learning algorithm picks a
+join order and a per-batch timeout, and the host DBMS executes each timed
+batch.  This package is that host-DBMS side of the contract:
+
+:class:`~repro.external.adapter.DbmsAdapter`
+    The ABC a database binding implements — connect, mirror the catalog's
+    tables, run one budgeted statement, interrupt, close.
+:class:`~repro.external.sqlite_adapter.SqliteAdapter`
+    The stdlib ``sqlite3`` reference adapter (CI-friendly: no server, no
+    third-party dependency).  Join orders are forced via ``CROSS JOIN``
+    chains, budgets via the progress-handler interrupt hook.
+:class:`~repro.external.emitter.SqlEmitter`
+    Compiles a :class:`~repro.query.query.Query`, a learned join order,
+    and a per-batch row-position slice into dialect-correct SQL.
+:class:`~repro.external.runner.ExternalGenericEngine`
+    The :class:`~repro.engine.task.GenericEngine` implementation gluing an
+    adapter + emitter under Skinner-G/H.
+:mod:`~repro.external.engines`
+    Engine factories (``skinner_g_sqlite`` / ``skinner_h_sqlite`` are
+    registered as built-ins), the per-catalog adapter cache, and the
+    optional best-effort Postgres registration helper.
+
+See ``docs/engines.md`` for the adapter contract, SQL emission rules,
+budget-interrupt semantics, and the mirror/fingerprint lifecycle.
+"""
+
+from repro.external.adapter import BatchOutcome, DbmsAdapter, table_fingerprint
+from repro.external.emitter import RID_COLUMN, SqlEmitter
+from repro.external.engines import (
+    close_adapters,
+    register_postgres_engines,
+    sqlite_adapter_for,
+)
+from repro.external.postgres_adapter import PostgresAdapter
+from repro.external.runner import ExternalGenericEngine
+from repro.external.sqlite_adapter import SqliteAdapter
+
+__all__ = [
+    "BatchOutcome",
+    "DbmsAdapter",
+    "ExternalGenericEngine",
+    "PostgresAdapter",
+    "RID_COLUMN",
+    "SqlEmitter",
+    "SqliteAdapter",
+    "close_adapters",
+    "register_postgres_engines",
+    "sqlite_adapter_for",
+    "table_fingerprint",
+]

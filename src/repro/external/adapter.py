@@ -1,0 +1,133 @@
+"""The adapter contract between the reproduction and a host DBMS.
+
+A :class:`DbmsAdapter` owns one connection to an external database and
+offers exactly the four capabilities Skinner-G/H need from their host
+engine: connect, mirror the catalog's tables, run one *budgeted* statement,
+and interrupt it.  Everything query-shaped (SQL text, join orders, batch
+windows) is the emitter's job; everything learning-shaped (UCT trees,
+batch schedules, reward) stays in :mod:`repro.skinner`.
+
+Mirroring is fingerprint-gated: each table is copied into the host
+database at most once per content fingerprint, so repeated queries — and
+repeated batch attempts within one query — reuse the mirror, while
+transactions that roll the catalog back to earlier contents trigger a
+re-mirror on the next query.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import weakref
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnType
+from repro.storage.table import Table
+
+#: Content fingerprints are cached per Table object; tables are immutable
+#: snapshots (transactions swap whole Table objects), so object identity is
+#: a safe cache key and the weak keys keep rolled-back versions collectable.
+_FINGERPRINTS: "weakref.WeakKeyDictionary[Table, str]" = weakref.WeakKeyDictionary()
+
+
+def table_fingerprint(catalog: Catalog, name: str) -> str:
+    """A stable content fingerprint of one catalog table.
+
+    Hashes the column schema and data.  The catalog's *recorded* ingest
+    fingerprint is deliberately not trusted here: it is not invalidated
+    when a table is replaced in place, so a mirror keyed on it could
+    silently serve stale rows.  Hashing is paid once per table version —
+    tables are immutable snapshots (every mutation registers a fresh
+    :class:`~repro.storage.table.Table`), so the digest is cached under
+    the table's object identity.
+    """
+    table = catalog.table(name)
+    cached = _FINGERPRINTS.get(table)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for column_name in table.column_names:
+        column = table.column(column_name)
+        digest.update(column_name.encode())
+        digest.update(column.ctype.name.encode())
+        digest.update(np.ascontiguousarray(column.data).tobytes())
+        if column.ctype is ColumnType.STRING:
+            for entry in column.dictionary:
+                digest.update(b"\x00")
+                digest.update(entry.encode())
+        digest.update(b"\x01")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[table] = fingerprint
+    return fingerprint
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one budgeted statement on the host database.
+
+    ``rows`` is ``None`` exactly when the budget expired first
+    (``completed`` is then ``False``); ``ticks`` and ``delivered`` are the
+    deterministic work-clock readings the runner turns into meter charges.
+    """
+
+    rows: list[tuple] | None
+    ticks: int
+    delivered: int
+    completed: bool
+
+
+class DbmsAdapter(abc.ABC):
+    """One connection to an external DBMS hosting mirrored tables.
+
+    Implementations must keep every quantity that feeds the cost meter
+    deterministic: the same statement on the same mirror must report the
+    same ``ticks``/``delivered`` readings on every run (see
+    :class:`~repro.engine.task.GenericEngine` for why).  Wall-clock time
+    may be *reported* but never budgeted.
+    """
+
+    #: Dialect tag, for diagnostics and dialect-specific emission tweaks.
+    dialect: str = "sql"
+
+    @abc.abstractmethod
+    def connect(self) -> None:
+        """Open the underlying connection (idempotent)."""
+
+    @abc.abstractmethod
+    def mirror(self, catalog: Catalog, names: Iterable[str]) -> None:
+        """Mirror the named catalog tables, once per content fingerprint."""
+
+    @abc.abstractmethod
+    def run_batch(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        budget: int | None = None,
+    ) -> BatchOutcome:
+        """Run one statement under a work-unit budget.
+
+        With ``budget=None`` the statement runs to completion (ticks are
+        still counted, for benchmarking).  Otherwise the attempt is
+        aborted — via :meth:`interrupt` or the engine's native hook — as
+        soon as the work clock exceeds the budget, and the outcome carries
+        ``rows=None``.
+        """
+
+    @abc.abstractmethod
+    def interrupt(self) -> None:
+        """Abort the currently running statement, if any."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close the connection and delete owned scratch state (idempotent)."""
+
+    def __enter__(self) -> "DbmsAdapter":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,265 @@
+"""Compile a query + learned join order into dialect-correct SQL.
+
+The emitter is the translation layer between the reproduction's internal
+query model and a host DBMS: it renders one Skinner-G batch attempt (or a
+whole-query Skinner-H attempt) as a single ``SELECT`` whose join order is
+*forced* and whose result rows are the internal **row positions** of each
+alias, so the learning layer and post-processing never leave the
+reproduction.
+
+Emission rules (shared by the sqlite and Postgres adapters — both speak
+this core dialect):
+
+* Mirrored tables carry a ``"_repro_rid"`` INTEGER PRIMARY KEY column
+  holding the 0-based row position; the select list is each alias's rid in
+  ``query.aliases`` order.
+* The ``FROM`` clause is a ``CROSS JOIN`` chain in the forced order
+  (sqlite preserves ``CROSS JOIN`` order; Postgres does with
+  ``join_collapse_limit = 1``).  *All* predicates — unary and join — are
+  re-applied in ``WHERE``, so restricting a non-left alias to the suffix
+  of its filtered positions via a single ``rid >=`` bound is exact.
+* Literals are emitted as ``?`` parameters, never inlined, so string
+  contents can't change query shape and NaN floats travel as SQL ``NULL``
+  (which never satisfies a comparison — matching the internal engine's
+  "NaN keys never match" semantics).
+* Python arithmetic is replicated exactly: ``div`` emits
+  ``(CAST(x AS REAL) / y)`` (true division), ``mod`` emits the
+  floor-modulo identity ``((x % y) + y) % y`` and is restricted to
+  integral operands (sqlite's ``%`` truncates floats to integers, so
+  float modulo cannot be replicated and falls back to the internal
+  engine).
+* Anything the dialect cannot replicate bit-for-bit — UDF calls, bare
+  boolean predicates, mixed string/numeric comparisons (Python raises,
+  SQL applies storage-class ordering) — raises
+  :class:`~repro.errors.UnsupportedQueryError` at construction time;
+  the engine provider catches it and falls back to the internal executor
+  with a :class:`RuntimeWarning`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import UnsupportedQueryError
+from repro.query.expressions import ColumnRef, Expression, FunctionCall, Literal
+from repro.query.predicates import Predicate
+from repro.query.query import Query
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnType
+
+#: Name of the synthetic row-position column added to every mirrored table.
+RID_COLUMN = "_repro_rid"
+
+_COMPARISON_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Internal scalar type lattice used only to reject non-replicable SQL.
+_INT, _FLOAT, _STR, _UNKNOWN = "int", "float", "str", "unknown"
+
+
+def quote_ident(name: str) -> str:
+    """Double-quote an identifier, doubling embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SqlEmitter:
+    """Emit order-forcing SQL for one query against its mirrored tables.
+
+    Validates every predicate at construction time and raises
+    :class:`~repro.errors.UnsupportedQueryError` when the query cannot be
+    replicated bit-for-bit in SQL (see the module docstring for the exact
+    rules), so engine providers can decide to fall back *before* touching
+    the external database.
+    """
+
+    def __init__(self, catalog: Catalog, query: Query) -> None:
+        self._query = query
+        self._aliases = tuple(query.aliases)
+        self._table_names = {alias: name for alias, name in query.tables}
+        self._column_types: dict[tuple[str, str], ColumnType] = {}
+        for alias, name in query.tables:
+            table = catalog.table(name)
+            for column_name in table.column_names:
+                self._column_types[(alias, column_name)] = table.column(column_name).ctype
+        for predicate in query.predicates:
+            self._validate_predicate(predicate)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate_predicate(self, predicate: Predicate) -> None:
+        if predicate.op is None or predicate.right is None:
+            raise UnsupportedQueryError(
+                f"cannot emit SQL for bare boolean predicate {predicate.display()!r}"
+            )
+        if predicate.op not in _COMPARISON_OPS:
+            raise UnsupportedQueryError(
+                f"cannot emit SQL for operator {predicate.op!r}"
+            )
+        if predicate.uses_udf:
+            raise UnsupportedQueryError(
+                f"cannot emit SQL for UDF predicate {predicate.display()!r}"
+            )
+        left_type = self._expression_type(predicate.left)
+        right_type = self._expression_type(predicate.right)
+        if (left_type == _STR) != (right_type == _STR):
+            # Python raises on str-vs-number ordering; SQL silently applies
+            # storage-class ordering.  Not replicable — refuse.
+            raise UnsupportedQueryError(
+                f"cannot emit SQL for mixed string/numeric comparison "
+                f"{predicate.display()!r}"
+            )
+
+    def _expression_type(self, expression: Expression) -> str:
+        if isinstance(expression, ColumnRef):
+            ctype = self._column_types.get((expression.table, expression.column))
+            if ctype is ColumnType.INT:
+                return _INT
+            if ctype is ColumnType.FLOAT:
+                return _FLOAT
+            if ctype is ColumnType.STRING:
+                return _STR
+            return _UNKNOWN
+        if isinstance(expression, Literal):
+            if isinstance(expression.value, bool):
+                return _INT
+            if isinstance(expression.value, int):
+                return _INT
+            if isinstance(expression.value, float):
+                return _FLOAT
+            if isinstance(expression.value, str):
+                return _STR
+            return _UNKNOWN
+        if isinstance(expression, FunctionCall):
+            name = expression.name.lower()
+            arg_types = [self._expression_type(arg) for arg in expression.args]
+            if any(t in (_STR, _UNKNOWN) for t in arg_types):
+                raise UnsupportedQueryError(
+                    f"cannot emit SQL for non-numeric function arguments in "
+                    f"{expression.display()!r}"
+                )
+            if name in ("add", "sub", "mul"):
+                return _INT if all(t == _INT for t in arg_types) else _FLOAT
+            if name == "div":
+                return _FLOAT
+            if name == "abs":
+                return arg_types[0]
+            if name == "mod":
+                if not all(t == _INT for t in arg_types):
+                    # sqlite's % truncates floats to integers (7.5 % 2 is
+                    # 1.0, not Python's 1.5) — only integral modulo is
+                    # replicable.
+                    raise UnsupportedQueryError(
+                        f"cannot emit SQL for non-integral modulo "
+                        f"{expression.display()!r}"
+                    )
+                return _INT
+            raise UnsupportedQueryError(
+                f"cannot emit SQL for function {expression.name!r}"
+            )
+        raise UnsupportedQueryError(
+            f"cannot emit SQL for expression {expression.display()!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # expression rendering
+    # ------------------------------------------------------------------
+    def _render(self, expression: Expression, params: list[object]) -> str:
+        if isinstance(expression, ColumnRef):
+            return f"{quote_ident(expression.table)}.{quote_ident(expression.column)}"
+        if isinstance(expression, Literal):
+            params.append(expression.value)
+            return "?"
+        if isinstance(expression, FunctionCall):
+            name = expression.name.lower()
+            if name == "abs":
+                return f"ABS({self._render(expression.args[0], params)})"
+            left = self._render(expression.args[0], params)
+            right = self._render(expression.args[1], params)
+            if name == "add":
+                return f"({left} + {right})"
+            if name == "sub":
+                return f"({left} - {right})"
+            if name == "mul":
+                return f"({left} * {right})"
+            if name == "div":
+                return f"(CAST({left} AS REAL) / {right})"
+            if name == "mod":
+                # Python floor modulo from SQL truncated modulo.  The right
+                # operand is emitted (and parameterized) twice on purpose.
+                right2 = self._render(expression.args[1], params)
+                return f"((({left} % {right}) + {right2}) % {right2})"
+        raise UnsupportedQueryError(
+            f"cannot emit SQL for expression {expression.display()!r}"
+        )
+
+    def _render_predicate(self, predicate: Predicate, params: list[object]) -> str:
+        assert predicate.op is not None and predicate.right is not None
+        left = self._render(predicate.left, params)
+        right = self._render(predicate.right, params)
+        return f"{left} {_COMPARISON_OPS[predicate.op]} {right}"
+
+    # ------------------------------------------------------------------
+    # statement emission
+    # ------------------------------------------------------------------
+    def filter_sql(self, alias: str) -> tuple[str, list[object]]:
+        """Pre-processing: rids of ``alias`` surviving its unary predicates."""
+        params: list[object] = []
+        table = quote_ident(self._table_names[alias])
+        rid = f"{quote_ident(alias)}.{quote_ident(RID_COLUMN)}"
+        clauses = [
+            self._render_predicate(predicate, params)
+            for predicate in self._query.unary_predicates(alias)
+        ]
+        sql = f"SELECT {rid} FROM {table} AS {quote_ident(alias)}"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" ORDER BY {rid}"
+        return sql, params
+
+    def join_sql(
+        self,
+        order: Sequence[str] | None = None,
+        bounds: Mapping[str, tuple[int, int | None]] | None = None,
+    ) -> tuple[str, list[object]]:
+        """One join attempt as a single ``SELECT`` of row-position tuples.
+
+        ``order`` forces the join order via a ``CROSS JOIN`` chain; ``None``
+        emits a comma-join (the host optimizer picks — used by the benchmark
+        to measure the default plan).  ``bounds`` maps an alias to a
+        ``(low, high)`` rid window (``high=None`` leaves the window open):
+        the left-most alias gets one batch's closed window, every other
+        alias gets its remaining suffix.
+        """
+        params: list[object] = []
+        select = ", ".join(
+            f"{quote_ident(alias)}.{quote_ident(RID_COLUMN)}" for alias in self._aliases
+        )
+        if order is None:
+            joiner = ", "
+            from_aliases: Sequence[str] = self._aliases
+        else:
+            joiner = " CROSS JOIN "
+            from_aliases = order
+        from_clause = joiner.join(
+            f"{quote_ident(self._table_names[alias])} AS {quote_ident(alias)}"
+            for alias in from_aliases
+        )
+        clauses: list[str] = []
+        for alias in self._aliases:
+            window = (bounds or {}).get(alias)
+            if window is None:
+                continue
+            low, high = window
+            rid = f"{quote_ident(alias)}.{quote_ident(RID_COLUMN)}"
+            if high is None:
+                clauses.append(f"{rid} >= ?")
+                params.append(low)
+            else:
+                clauses.append(f"{rid} BETWEEN ? AND ?")
+                params.extend((low, high))
+        for predicate in self._query.predicates:
+            clauses.append(self._render_predicate(predicate, params))
+        sql = f"SELECT {select} FROM {from_clause}"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        return sql, params

@@ -1,0 +1,181 @@
+"""Engine factories and adapter lifecycle for external-DBMS backends.
+
+``skinner_g_sqlite`` / ``skinner_h_sqlite`` are thin variants of the
+built-in Skinner-G/H engines whose generic-engine provider routes batch
+execution through a shared per-catalog :class:`~repro.external.
+sqlite_adapter.SqliteAdapter`.  The adapter — and with it the mirror
+database file — is cached per catalog: every query against the same
+catalog reuses the mirror, and the cache entry dies (closing the
+connection and deleting the scratch file) when the catalog is garbage
+collected, when :func:`close_adapters` is called explicitly, or when the
+owning :class:`~repro.api.connection.Connection` closes.
+
+Queries the SQL dialect cannot replicate bit-for-bit — UDF predicates,
+bare boolean predicates, float modulo, mixed string/numeric comparisons —
+fall back to the internal executor with a :class:`RuntimeWarning`, so
+results stay correct (and byte-identical) even off the fast path.
+
+This module sits *below* :mod:`repro.api` in the import graph:
+``repro.api.registry`` imports the factories from here to build its
+built-in specs, so nothing here may import ``repro.api`` at module scope.
+"""
+
+from __future__ import annotations
+
+import warnings
+import weakref
+from typing import Any
+
+from repro.config import SkinnerConfig
+from repro.errors import UnsupportedQueryError
+from repro.external.runner import ExternalGenericEngine
+from repro.external.sqlite_adapter import SqliteAdapter
+from repro.query.query import Query
+from repro.query.udf import UdfRegistry
+from repro.skinner.skinner_g import SkinnerG
+from repro.skinner.skinner_h import SkinnerH
+from repro.storage.catalog import Catalog
+
+#: One sqlite adapter (mirror database) per catalog.  Weak keys plus a
+#: finalizer guarantee the scratch ``repro-mirror-*.sqlite`` file is
+#: deleted even when nobody calls :func:`close_adapters`.
+_SQLITE_ADAPTERS: "weakref.WeakKeyDictionary[Catalog, SqliteAdapter]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def sqlite_adapter_for(catalog: Catalog) -> SqliteAdapter:
+    """The shared sqlite adapter mirroring ``catalog`` (created on demand)."""
+    adapter = _SQLITE_ADAPTERS.get(catalog)
+    if adapter is None:
+        adapter = SqliteAdapter()
+        _SQLITE_ADAPTERS[catalog] = adapter
+        weakref.finalize(catalog, adapter.close)
+    return adapter
+
+
+def close_adapters(catalog: Catalog) -> None:
+    """Close (and forget) any external adapters attached to ``catalog``."""
+    adapter = _SQLITE_ADAPTERS.pop(catalog, None)
+    if adapter is not None:
+        adapter.close()
+
+
+def _fallback(query: Query, reason: str) -> None:
+    warnings.warn(
+        f"external engine cannot execute query bit-for-bit ({reason}); "
+        "falling back to the internal executor",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+
+
+def _sqlite_generic_engine(
+    catalog: Catalog,
+    query: Query,
+    udfs: UdfRegistry | None,
+    config: SkinnerConfig,
+) -> ExternalGenericEngine | None:
+    """Generic-engine provider: sqlite substrate, or ``None`` to fall back."""
+    if query.has_udf_predicates():
+        _fallback(query, "UDF predicates cannot run on the external DBMS")
+        return None
+    try:
+        return ExternalGenericEngine(catalog, query, sqlite_adapter_for(catalog))
+    except UnsupportedQueryError as exc:
+        _fallback(query, str(exc))
+        return None
+
+
+def sqlite_skinner_g_factory(context: Any) -> SkinnerG:
+    """Build ``skinner_g_sqlite``: Skinner-G batching through sqlite."""
+    return SkinnerG(
+        context.catalog, context.udfs, context.config,
+        dbms_profile=context.profile, threads=context.threads,
+        generic_engine=_sqlite_generic_engine, backend_label="sqlite",
+    )
+
+
+def sqlite_skinner_h_factory(context: Any) -> SkinnerH:
+    """Build ``skinner_h_sqlite``: the hybrid with sqlite as host engine."""
+    return SkinnerH(
+        context.catalog, context.udfs, context.config,
+        dbms_profile=context.profile, statistics=context.statistics(),
+        threads=context.threads,
+        generic_engine=_sqlite_generic_engine, backend_label="sqlite",
+    )
+
+
+# ----------------------------------------------------------------------
+# optional Postgres registration (never exercised in CI)
+# ----------------------------------------------------------------------
+def register_postgres_engines(
+    dsn: str,
+    *,
+    registry: Any = None,
+    replace: bool = False,
+) -> tuple[Any, Any]:
+    """Register ``skinner_g_postgres`` / ``skinner_h_postgres`` for ``dsn``.
+
+    Best-effort: raises :class:`~repro.errors.ReproError` when ``psycopg2``
+    is not installed.  One :class:`~repro.external.postgres_adapter.
+    PostgresAdapter` is shared per catalog, exactly like the sqlite cache.
+    """
+    from repro.api.registry import EngineSpec, register_engine
+    from repro.external.postgres_adapter import PostgresAdapter
+    from repro.skinner.skinner_g import SkinnerGTask
+    from repro.skinner.skinner_h import SkinnerHTask
+
+    adapters: "weakref.WeakKeyDictionary[Catalog, PostgresAdapter]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    def adapter_for(catalog: Catalog) -> PostgresAdapter:
+        adapter = adapters.get(catalog)
+        if adapter is None:
+            adapter = PostgresAdapter(dsn)
+            adapters[catalog] = adapter
+            weakref.finalize(catalog, adapter.close)
+        return adapter
+
+    def provider(
+        catalog: Catalog,
+        query: Query,
+        udfs: UdfRegistry | None,
+        config: SkinnerConfig,
+    ) -> ExternalGenericEngine | None:
+        if query.has_udf_predicates():
+            _fallback(query, "UDF predicates cannot run on the external DBMS")
+            return None
+        try:
+            return ExternalGenericEngine(catalog, query, adapter_for(catalog))
+        except UnsupportedQueryError as exc:
+            _fallback(query, str(exc))
+            return None
+
+    def g_factory(context: Any) -> SkinnerG:
+        return SkinnerG(
+            context.catalog, context.udfs, context.config,
+            dbms_profile=context.profile, threads=context.threads,
+            generic_engine=provider, backend_label="postgres",
+        )
+
+    def h_factory(context: Any) -> SkinnerH:
+        return SkinnerH(
+            context.catalog, context.udfs, context.config,
+            dbms_profile=context.profile, statistics=context.statistics(),
+            threads=context.threads,
+            generic_engine=provider, backend_label="postgres",
+        )
+
+    g_spec = register_engine(
+        EngineSpec("skinner_g_postgres", g_factory, episodic=True,
+                   task_class=SkinnerGTask),
+        replace=replace, registry=registry,
+    )
+    h_spec = register_engine(
+        EngineSpec("skinner_h_postgres", h_factory, episodic=True,
+                   needs_statistics=True, task_class=SkinnerHTask),
+        replace=replace, registry=registry,
+    )
+    return g_spec, h_spec

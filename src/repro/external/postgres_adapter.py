@@ -1,0 +1,167 @@
+"""Best-effort Postgres adapter (optional, never exercised in CI).
+
+Requires ``psycopg2``; the import is guarded so this module always loads
+and only :class:`PostgresAdapter` construction fails when the driver is
+missing.  Join orders are forced the PostBOUND way: ``SET
+join_collapse_limit = 1`` (and ``from_collapse_limit = 1``) makes the
+planner keep the explicit join syntax the emitter writes, so the
+``CROSS JOIN`` chain executes in the learned order.
+
+Unlike sqlite, Postgres offers no deterministic VM-instruction hook, so
+the budget clock degrades to the rows-delivered proxy alone: a batch is
+aborted (``connection.cancel()``) once it has delivered more rows than its
+budget.  That is still wall-clock-free — charges remain a function of
+data — but coarser than the sqlite reference; treat Postgres results as
+best-effort ground truth, not as a bench-fingerprint substrate.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.errors import OperationalError, ReproError
+from repro.external.adapter import BatchOutcome, DbmsAdapter, table_fingerprint
+from repro.external.emitter import RID_COLUMN, quote_ident
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnType
+
+try:  # pragma: no cover - optional dependency
+    import psycopg2  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the CI path
+    psycopg2 = None
+
+#: Rows fetched per cursor round-trip while draining results.
+_FETCH_CHUNK = 256
+
+_SQL_TYPES = {
+    ColumnType.INT: "BIGINT",
+    ColumnType.FLOAT: "DOUBLE PRECISION",
+    ColumnType.STRING: "TEXT",
+}
+
+#: Environment variable consulted for an integration-test server DSN.
+DSN_ENV = "REPRO_POSTGRES_DSN"
+
+
+def default_dsn() -> str | None:
+    """The DSN configured via :data:`DSN_ENV`, if any."""
+    return os.environ.get(DSN_ENV) or None
+
+
+class PostgresAdapter(DbmsAdapter):  # pragma: no cover - needs a server
+    """Mirror catalog tables into a Postgres schema and run batches."""
+
+    dialect = "postgres"
+
+    def __init__(self, dsn: str, schema: str = "repro_mirror") -> None:
+        if psycopg2 is None:
+            raise ReproError(
+                "the Postgres adapter requires psycopg2, which is not installed"
+            )
+        self._dsn = dsn
+        self._schema = schema
+        self._conn = None
+        self._mirrored: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._conn is not None:
+            return
+        self._conn = psycopg2.connect(self._dsn)
+        self._conn.autocommit = True
+        with self._conn.cursor() as cursor:
+            cursor.execute(f"CREATE SCHEMA IF NOT EXISTS {quote_ident(self._schema)}")
+            # PostBOUND-style hinting: stop the planner from reordering the
+            # explicit join chain the emitter writes.
+            cursor.execute("SET join_collapse_limit = 1")
+            cursor.execute("SET from_collapse_limit = 1")
+            cursor.execute(f"SET search_path = {quote_ident(self._schema)}")
+
+    def interrupt(self) -> None:
+        if self._conn is not None:
+            self._conn.cancel()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+        self._mirrored.clear()
+
+    # ------------------------------------------------------------------
+    # mirroring
+    # ------------------------------------------------------------------
+    def mirror(self, catalog: Catalog, names: Iterable[str]) -> None:
+        self.connect()
+        assert self._conn is not None
+        with self._conn.cursor() as cursor:
+            for name in dict.fromkeys(names):
+                fingerprint = table_fingerprint(catalog, name)
+                if self._mirrored.get(name) == fingerprint:
+                    continue
+                table = catalog.table(name)
+                columns = [
+                    f"{quote_ident(column_name)} "
+                    f"{_SQL_TYPES[table.column(column_name).ctype]}"
+                    for column_name in table.column_names
+                ]
+                column_list = ", ".join(
+                    [f"{quote_ident(RID_COLUMN)} BIGINT PRIMARY KEY", *columns]
+                )
+                cursor.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
+                cursor.execute(f"CREATE TABLE {quote_ident(name)} ({column_list})")
+                value_lists = [
+                    table.column(column_name).values()
+                    for column_name in table.column_names
+                ]
+                placeholders = ", ".join("%s" for _ in range(len(value_lists) + 1))
+                cursor.executemany(
+                    f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+                    list(zip(range(table.num_rows), *value_lists)),
+                )
+                self._mirrored[name] = fingerprint
+
+    # ------------------------------------------------------------------
+    # budgeted execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        budget: int | None = None,
+    ) -> BatchOutcome:
+        self.connect()
+        assert self._conn is not None
+        # The emitter speaks qmark; psycopg2 speaks format.  Literals are
+        # always parameterized, so no '?' can hide inside the SQL text.
+        statement = sql.replace("?", "%s")
+        delivered = 0
+        rows: list[tuple] = []
+        try:
+            with self._conn.cursor() as cursor:
+                cursor.execute(statement, tuple(params))
+                while True:
+                    if budget is not None and delivered > budget:
+                        return BatchOutcome(
+                            rows=None, ticks=0, delivered=delivered, completed=False
+                        )
+                    chunk = cursor.fetchmany(
+                        _FETCH_CHUNK
+                        if budget is None
+                        else min(_FETCH_CHUNK, budget - delivered + 1)
+                    )
+                    if not chunk:
+                        break
+                    delivered += len(chunk)
+                    rows.extend(chunk)
+                    if budget is not None and delivered > budget:
+                        return BatchOutcome(
+                            rows=None, ticks=0, delivered=delivered, completed=False
+                        )
+        except psycopg2.Error as exc:
+            raise OperationalError(f"postgres execution failed: {exc}") from exc
+        return BatchOutcome(rows=rows, ticks=0, delivered=delivered, completed=True)

@@ -1,0 +1,192 @@
+"""The stdlib ``sqlite3`` reference adapter.
+
+This is the CI-friendly host database: no server, no third-party
+dependency, and two properties the contract needs —
+
+* **Order forcing**: sqlite never reorders across ``CROSS JOIN``, so the
+  emitter's ``CROSS JOIN`` chain executes in exactly the learned order.
+* **A deterministic budget clock**: the progress handler fires every
+  :data:`PROGRESS_GRANULARITY` virtual-machine instructions, and sqlite's
+  bytecode execution for a given statement on given data is deterministic,
+  so *ticks* (handler invocations) plus *delivered rows* form a
+  reproducible work-unit clock.  Returning ``1`` from the handler
+  interrupts the statement — that is how budgets abort a batch without
+  ever consulting wall-clock time.
+
+Mirrors live in a scratch database file (``repro-mirror-*.sqlite`` under
+the system temp directory) owned and deleted by the adapter; each table is
+``("_repro_rid" INTEGER PRIMARY KEY, <columns>)`` with strings decoded
+from their dictionaries and NaN floats stored as ``NULL`` (sqlite binds
+NaN as ``NULL``, which matches the internal engine's "NaN keys never
+match" semantics).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from collections.abc import Iterable, Sequence
+
+from repro.errors import OperationalError
+from repro.external.adapter import BatchOutcome, DbmsAdapter, table_fingerprint
+from repro.external.emitter import RID_COLUMN, quote_ident
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnType
+
+#: Virtual-machine instructions between progress-handler ticks.  Smaller
+#: values give a finer budget clock at more interpreter overhead; 256 makes
+#: one tick roughly comparable to one internal work unit on the bundled
+#: workloads.
+PROGRESS_GRANULARITY = 256
+
+#: Rows fetched per cursor round-trip while draining results.
+_FETCH_CHUNK = 256
+
+_SQL_TYPES = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.STRING: "TEXT",
+}
+
+
+class SqliteAdapter(DbmsAdapter):
+    """Mirror catalog tables into a scratch sqlite database and run batches."""
+
+    dialect = "sqlite"
+
+    def __init__(self, path: str | None = None) -> None:
+        self._owns_path = path is None
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-mirror-", suffix=".sqlite")
+            os.close(handle)
+        self.path = path
+        self._conn: sqlite3.Connection | None = None
+        self._mirrored: dict[str, str] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._conn is None:
+            self._closed = False
+            # cached_statements=0 is load-bearing for the deterministic
+            # clock: a cached prepared statement keeps its cumulative
+            # VM-step counter across executions, so the progress handler's
+            # phase — and hence the tick count — would depend on execution
+            # history.  A fresh statement per execution starts the counter
+            # at zero every time.
+            # check_same_thread=False: adapters are owned by a catalog and
+            # may be finalized from a different thread than the serving
+            # thread that ran queries; access is serialized by the engine.
+            self._conn = sqlite3.connect(
+                self.path,
+                isolation_level=None,
+                cached_statements=0,
+                check_same_thread=False,
+            )
+
+    def _require_conn(self) -> sqlite3.Connection:
+        self.connect()
+        assert self._conn is not None
+        return self._conn
+
+    def interrupt(self) -> None:
+        if self._conn is not None:
+            self._conn.interrupt()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._mirrored.clear()
+        if self._owns_path and not self._closed:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # mirroring
+    # ------------------------------------------------------------------
+    def mirror(self, catalog: Catalog, names: Iterable[str]) -> None:
+        conn = self._require_conn()
+        for name in dict.fromkeys(names):
+            fingerprint = table_fingerprint(catalog, name)
+            if self._mirrored.get(name) == fingerprint:
+                continue
+            table = catalog.table(name)
+            columns = [
+                f"{quote_ident(column_name)} {_SQL_TYPES[table.column(column_name).ctype]}"
+                for column_name in table.column_names
+            ]
+            column_list = ", ".join(
+                [f"{quote_ident(RID_COLUMN)} INTEGER PRIMARY KEY", *columns]
+            )
+            conn.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
+            conn.execute(f"CREATE TABLE {quote_ident(name)} ({column_list})")
+            value_lists = [
+                table.column(column_name).values() for column_name in table.column_names
+            ]
+            placeholders = ", ".join("?" for _ in range(len(value_lists) + 1))
+            conn.executemany(
+                f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+                zip(range(table.num_rows), *value_lists),
+            )
+            self._mirrored[name] = fingerprint
+
+    # ------------------------------------------------------------------
+    # budgeted execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        budget: int | None = None,
+    ) -> BatchOutcome:
+        conn = self._require_conn()
+        ticks = 0
+        delivered = 0
+        aborted = False
+        rows: list[tuple] = []
+
+        def on_progress() -> int:
+            nonlocal ticks, aborted
+            ticks += 1
+            if budget is not None and ticks + delivered > budget:
+                aborted = True
+                return 1
+            return 0
+
+        conn.set_progress_handler(on_progress, PROGRESS_GRANULARITY)
+        try:
+            cursor = conn.execute(sql, tuple(params))
+            while not aborted:
+                if budget is None:
+                    chunk_size = _FETCH_CHUNK
+                else:
+                    remaining = budget - ticks - delivered
+                    if remaining < 0:
+                        aborted = True
+                        break
+                    # +1 so overflow is observable: delivering one row past
+                    # the budget is what flips the attempt to a failure.
+                    chunk_size = min(_FETCH_CHUNK, remaining + 1)
+                chunk = cursor.fetchmany(chunk_size)
+                if not chunk:
+                    break
+                delivered += len(chunk)
+                rows.extend(chunk)
+                if budget is not None and ticks + delivered > budget:
+                    aborted = True
+        except sqlite3.OperationalError as exc:
+            if not aborted and "interrupt" not in str(exc).lower():
+                raise OperationalError(f"sqlite execution failed: {exc}") from exc
+            aborted = True
+        finally:
+            conn.set_progress_handler(None, PROGRESS_GRANULARITY)
+        if aborted:
+            return BatchOutcome(rows=None, ticks=ticks, delivered=delivered, completed=False)
+        return BatchOutcome(rows=rows, ticks=ticks, delivered=delivered, completed=True)

@@ -56,13 +56,13 @@ DEFAULT_PORT = 7439
 
 def parse_dsn(
     dsn: str,
-) -> tuple[str, int, str | None, float | None, int | None, str | None]:
-    """Parse ``repro://host:port/?tenant=name&timeout=s&workers=N&data_dir=path``.
+) -> tuple[str, int, str | None, float | None, int | None, str | None, str | None]:
+    """Parse ``repro://host:port/?tenant=name&timeout=s&workers=N&data_dir=path&engine=name``.
 
-    Returns ``(host, port, tenant, timeout, workers, data_dir)`` with
-    ``None`` for parameters the DSN does not set.  Unknown query parameters
-    are rejected — a typo in ``tenant`` would otherwise silently land the
-    client in the default quota bucket.
+    Returns ``(host, port, tenant, timeout, workers, data_dir, engine)``
+    with ``None`` for parameters the DSN does not set.  Unknown query
+    parameters are rejected — a typo in ``tenant`` would otherwise
+    silently land the client in the default quota bucket.
     """
     parts = urlsplit(dsn)
     if parts.scheme != "repro":
@@ -72,7 +72,7 @@ def parse_dsn(
     host = parts.hostname or "127.0.0.1"
     port = parts.port if parts.port is not None else DEFAULT_PORT
     params = parse_qs(parts.query, keep_blank_values=True)
-    unknown = set(params) - {"tenant", "timeout", "workers", "data_dir"}
+    unknown = set(params) - {"tenant", "timeout", "workers", "data_dir", "engine"}
     if unknown:
         raise InterfaceError(f"unknown DSN parameter(s): {', '.join(sorted(unknown))}")
     tenant = params["tenant"][0] if "tenant" in params else None
@@ -100,7 +100,13 @@ def parse_dsn(
         data_dir = params["data_dir"][0]
         if not data_dir.strip():
             raise InterfaceError("DSN data_dir must be a non-empty path")
-    return host, port, tenant, timeout, workers, data_dir
+    engine: str | None = None
+    if "engine" in params:
+        engine = params["engine"][0]
+        if not engine.strip():
+            raise InterfaceError("DSN engine must be a non-empty engine name")
+        engine = engine.lower()
+    return host, port, tenant, timeout, workers, data_dir, engine
 
 
 class SocketChannel:
@@ -115,6 +121,7 @@ class SocketChannel:
         timeout: float | None = None,
         workers: int | None = None,
         data_dir: str | None = None,
+        engine: str | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
@@ -132,6 +139,7 @@ class SocketChannel:
             tenant=tenant,
             workers=workers,
             data_dir=data_dir,
+            engine=engine,
         )
         self.tenant: str = str(hello.get("tenant", tenant))
         #: Effective intra-query parallelism the server granted this session
@@ -141,6 +149,11 @@ class SocketChannel:
         #: echoed by the handshake, which rejects a mismatched request.
         raw_dir = hello.get("data_dir")
         self.data_dir: str | None = str(raw_dir) if raw_dir is not None else None
+        #: Session default engine the server acknowledged (queries that
+        #: name no engine run on this); validated during the handshake, so
+        #: an unknown name fails the connect, not the first query.
+        raw_engine = hello.get("engine")
+        self.engine: str | None = str(raw_engine) if raw_engine is not None else None
 
     def request(self, verb: str, **args: Any) -> dict[str, Any]:
         """One request/response exchange; returns the response data."""
@@ -221,14 +234,16 @@ class RemoteTransport(Transport):
         timeout: float | None = None,
         workers: int | None = None,
         data_dir: str | None = None,
+        engine: str | None = None,
     ) -> None:
         self._channel = SocketChannel(
             host, port, tenant=tenant, timeout=timeout, workers=workers,
-            data_dir=data_dir,
+            data_dir=data_dir, engine=engine,
         )
         self.tenant = self._channel.tenant
         self.workers = self._channel.workers
         self.data_dir = self._channel.data_dir
+        self.engine = self._channel.engine
 
     @classmethod
     def from_dsn(
@@ -239,9 +254,11 @@ class RemoteTransport(Transport):
         timeout: float | None = None,
         workers: int | None = None,
         data_dir: str | None = None,
+        engine: str | None = None,
     ) -> RemoteTransport:
         """Resolve a ``repro://`` DSN; keyword arguments win over the DSN's."""
-        host, port, dsn_tenant, dsn_timeout, dsn_workers, dsn_data_dir = parse_dsn(dsn)
+        (host, port, dsn_tenant, dsn_timeout, dsn_workers, dsn_data_dir,
+         dsn_engine) = parse_dsn(dsn)
         return cls(
             host,
             port,
@@ -249,6 +266,7 @@ class RemoteTransport(Transport):
             timeout=timeout if timeout is not None else dsn_timeout,
             workers=workers if workers is not None else dsn_workers,
             data_dir=data_dir if data_dir is not None else dsn_data_dir,
+            engine=engine if engine is not None else dsn_engine,
         )
 
     # ------------------------------------------------------------------

@@ -61,6 +61,7 @@ class _Client:
         self.peer = peer
         self.tenant = "default"
         self.workers: int | None = None
+        self.engine: str | None = None
         self.tickets: set[int] = set()
 
 
@@ -263,6 +264,31 @@ class ReproServer:
             if client.workers is not None
             else self.connection.config.parallel_workers
         )
+        requested_engine = args.get("engine")
+        if requested_engine is not None:
+            # Engine names resolve against the *server's* registry; an
+            # unknown name would otherwise surface only at the first
+            # submit, long after the session looked healthy.
+            if not isinstance(requested_engine, str) or not requested_engine.strip():
+                await self._write(
+                    writer, request_id,
+                    error=InterfaceError(
+                        f"engine must be a non-empty engine name, "
+                        f"got {requested_engine!r}"
+                    ),
+                )
+                return False
+            engine_name = requested_engine.lower()
+            if engine_name not in self.connection.registry:
+                await self._write(
+                    writer, request_id,
+                    error=InterfaceError(
+                        f"unknown engine {engine_name!r}; registered engines: "
+                        f"{', '.join(sorted(self.connection.registry.names()))}"
+                    ),
+                )
+                return False
+            client.engine = engine_name
         server_dir = self.connection.config.data_dir
         requested_dir = args.get("data_dir")
         if requested_dir is not None:
@@ -295,6 +321,11 @@ class ReproServer:
                 "server": "repro",
                 "workers": effective,
                 "data_dir": server_dir,
+                "engine": (
+                    client.engine
+                    if client.engine is not None
+                    else self.connection.config.default_engine
+                ),
             },
         )
         return True
@@ -372,7 +403,11 @@ class ReproServer:
             effective_config = conn.config
         ticket = conn.server.submit(
             parsed,
-            engine=args.get("engine", "skinner-c"),
+            engine=(
+                args.get("engine")
+                or client.engine
+                or conn.config.default_engine
+            ),
             profile=args.get("profile", "postgres"),
             config=effective_config,
             threads=int(args.get("threads", 1)),

@@ -2,16 +2,31 @@
 
 Algorithm 1 of the paper: each table is split into batches; every iteration
 the pyramid timeout scheme picks a per-batch budget, a per-timeout UCT tree
-picks a join order, and the generic engine (here: the left-deep plan
-executor, standing in for Postgres/MonetDB) joins one batch of the left-most
+picks a join order, and the generic engine joins one batch of the left-most
 table with the remaining tuples of all other tables under that budget.
 Completed batches earn reward 1 and are excluded from further processing;
 timed-out attempts earn reward 0 and all their intermediate work is lost.
+
+The generic engine is pluggable (:class:`~repro.engine.task.GenericEngine`):
+the default :class:`InternalGenericEngine` wraps the left-deep
+:class:`~repro.engine.executor.PlanExecutor` (the A/B reference), while
+:mod:`repro.external` provides substrates that drive a real DBMS through
+order-forcing SQL — exactly the deployment the paper describes.
+
+Clock discipline: all batch budgets and rewards run on the deterministic
+work-unit clock of :class:`~repro.engine.meter.CostMeter` — never wall-clock
+time.  ``time.perf_counter()`` appears only when stamping the *reporting*
+field ``wall_time_seconds`` of the final metrics; no budget, reward, or
+scheduling decision reads it, so iteration sequences, meter charges, and
+bench work fingerprints are reproducible run to run (see
+``docs/engines.md`` for how external adapters map their progress onto this
+clock).
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -22,7 +37,8 @@ from repro.engine.executor import PlanExecutor
 from repro.engine.meter import CostMeter
 from repro.engine.postprocess import post_process
 from repro.engine.profiles import EngineProfile, get_profile
-from repro.engine.task import EngineTask, ExecutionBackend
+from repro.engine.relation import RowIdRelation
+from repro.engine.task import EngineTask, ExecutionBackend, GenericEngine
 from repro.errors import BudgetExceeded, ExecutionError
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
@@ -30,9 +46,71 @@ from repro.result import QueryMetrics, QueryResult
 from repro.skinner.result_set import JoinResultSet
 from repro.skinner.timeouts import PyramidTimeoutScheme
 from repro.storage.catalog import Catalog
+from repro.storage.table import Table
 from repro.uct.tree import UctJoinTree
 
 _MAX_ITERATIONS = 500_000
+
+#: ``provider(catalog, query, udfs, config) -> GenericEngine | None`` — a
+#: factory selecting the execution substrate for one query.  Returning
+#: ``None`` means "fall back to the internal executor" (e.g. external
+#: engines facing UDF predicates they cannot evaluate remotely).
+GenericEngineProvider = Callable[
+    [Catalog, Query, "UdfRegistry | None", SkinnerConfig], "GenericEngine | None"
+]
+
+
+class InternalGenericEngine(GenericEngine):
+    """The default substrate: the internal left-deep plan executor.
+
+    Wraps :class:`~repro.engine.executor.PlanExecutor` behind the
+    :class:`~repro.engine.task.GenericEngine` contract with byte-identical
+    charges and results to the historical direct-call code path.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: Query,
+        udfs: UdfRegistry | None,
+        config: SkinnerConfig,
+    ) -> None:
+        self._query = query
+        self._aliases = tuple(query.aliases)
+        self._executor = PlanExecutor(catalog, query, udfs, join_mode=config.join_mode)
+
+    @property
+    def tables(self) -> Mapping[str, Table]:
+        return self._executor.tables
+
+    def pre_process(self, meter: CostMeter) -> None:
+        self._executor.pre_process(meter)
+
+    def filtered_positions(self, alias: str) -> np.ndarray:
+        return self._executor.filtered_positions(alias)
+
+    def execute_batch(
+        self,
+        order: Sequence[str],
+        base_positions: Mapping[str, np.ndarray],
+        budget: int,
+    ) -> tuple[CostMeter, list[tuple[int, ...]] | None]:
+        meter = CostMeter(budget=budget)
+        try:
+            relation = self._executor.execute_order(order, meter, base_positions)
+        except BudgetExceeded:
+            return meter, None
+        return meter, relation.index_tuples(self._aliases)
+
+    def execute_plan(
+        self, order: Sequence[str], budget: int
+    ) -> tuple[CostMeter, RowIdRelation | None]:
+        meter = CostMeter(budget=budget)
+        try:
+            relation = self._executor.execute_order(order, meter)
+        except BudgetExceeded:
+            return meter, None
+        return meter, relation
 
 
 @dataclass
@@ -48,7 +126,8 @@ class GenericLearningRun:
     query: Query
     udfs: UdfRegistry | None
     config: SkinnerConfig
-    executor: PlanExecutor = field(init=False)
+    #: The execution substrate; ``None`` selects the internal executor.
+    engine: GenericEngine | None = None
     meter: CostMeter = field(init=False)
     result_set: JoinResultSet = field(init=False)
     scheme: PyramidTimeoutScheme = field(init=False)
@@ -59,26 +138,27 @@ class GenericLearningRun:
     finished: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
-        self.executor = PlanExecutor(self.catalog, self.query, self.udfs,
-                                     join_mode=self.config.join_mode)
+        if self.engine is None:
+            self.engine = InternalGenericEngine(self.catalog, self.query,
+                                                self.udfs, self.config)
         self.meter = CostMeter()
-        self.executor.pre_process(self.meter)
+        self.engine.pre_process(self.meter)
         self.result_set = JoinResultSet(tuple(self.query.aliases))
         self.scheme = PyramidTimeoutScheme(self.config.base_timeout)
         self._graph = self.query.join_graph()
         for alias in self.query.aliases:
-            positions = self.executor.filtered_positions(alias)
+            positions = self.engine.filtered_positions(alias)
             per_table = max(1, min(self.config.batches_per_table, positions.shape[0] or 1))
             self.batches[alias] = [
                 np.asarray(chunk, dtype=np.int64)
                 for chunk in np.array_split(positions, per_table)
             ]
             self.batch_offsets[alias] = 0
-        if any(self.executor.filtered_positions(a).shape[0] == 0 for a in self.query.aliases):
+        if any(self.engine.filtered_positions(a).shape[0] == 0 for a in self.query.aliases):
             self.finished = True
         if self.query.num_tables == 1:
             alias = self.query.aliases[0]
-            for position in self.executor.filtered_positions(alias):
+            for position in self.engine.filtered_positions(alias):
                 self.result_set.add((int(position),))
             self.finished = True
 
@@ -107,16 +187,12 @@ class GenericLearningRun:
             order = tree.choose_order()
         left = order[0]
         base_positions = self._base_positions(order)
-        slice_meter = CostMeter(budget=choice.budget)
-        try:
-            relation = self.executor.execute_order(order, slice_meter, base_positions)
-            success = True
-        except BudgetExceeded:
-            success = False
+        assert self.engine is not None
+        slice_meter, tuples = self.engine.execute_batch(order, base_positions, choice.budget)
         spent = slice_meter.total
         self.meter.merge(slice_meter)
-        if success:
-            self.result_set.add_many(relation.index_tuples(tuple(self.query.aliases)))
+        if tuples is not None:
+            self.result_set.add_many(tuples)
             self.batch_offsets[left] += 1
             tree.update(order, 1.0)
             if self.batch_offsets[left] >= len(self.batches[left]):
@@ -179,8 +255,13 @@ class SkinnerGTask(EngineTask):
     def __init__(self, engine: "SkinnerG", query: Query) -> None:
         self._engine = engine
         self._query = query
+        # Wall clock is captured for the reporting-only wall_time_seconds
+        # metric; every budget below runs on the work-unit clock.
         self._started = time.perf_counter()
-        self.run = GenericLearningRun(engine._catalog, query, engine._udfs, engine._config)
+        self.run = GenericLearningRun(
+            engine._catalog, query, engine._udfs, engine._config,
+            engine=engine._make_generic_engine(query),
+        )
 
     @property
     def finished(self) -> bool:
@@ -215,6 +296,8 @@ class SkinnerG(ExecutionBackend):
         *,
         dbms_profile: str | EngineProfile = "postgres",
         threads: int = 1,
+        generic_engine: GenericEngineProvider | None = None,
+        backend_label: str | None = None,
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
@@ -223,11 +306,26 @@ class SkinnerG(ExecutionBackend):
             dbms_profile if isinstance(dbms_profile, EngineProfile) else get_profile(dbms_profile)
         )
         self._threads = threads
+        #: Substrate factory — ``None`` keeps the internal executor (the
+        #: historical behavior and the A/B reference); ``repro.external``
+        #: passes providers that drive a real DBMS.
+        self._generic_engine = generic_engine
+        self._backend_label = backend_label
+
+    def _make_generic_engine(self, query: Query) -> GenericEngine | None:
+        """The substrate for one query; ``None`` means the internal executor.
+
+        Providers may themselves return ``None`` to fall back (external
+        engines facing UDF predicates warn and run internally).
+        """
+        if self._generic_engine is None:
+            return None
+        return self._generic_engine(self._catalog, query, self._udfs, self._config)
 
     @property
     def name(self) -> str:
         """Engine name used in reports."""
-        return f"skinner-g({self._profile.name})"
+        return f"skinner-g({self._backend_label or self._profile.name})"
 
     def task(self, query: Query) -> SkinnerGTask:
         """Create a resumable episode task for ``query`` (see SkinnerGTask)."""
@@ -254,7 +352,8 @@ class SkinnerG(ExecutionBackend):
         extra_work: CostMeter | None = None,
     ) -> QueryResult:
         relation = run.result_set.to_relation()
-        output = post_process(query, relation, run.executor.tables, self._udfs, run.meter,
+        assert run.engine is not None
+        output = post_process(query, relation, run.engine.tables, self._udfs, run.meter,
                               mode=self._config.postprocess_mode)
         total = CostMeter()
         total.merge(run.meter)

@@ -28,7 +28,7 @@ from repro.optimizer.statistics import StatisticsCatalog
 from repro.query.query import Query
 from repro.query.udf import UdfRegistry
 from repro.result import QueryMetrics, QueryResult
-from repro.skinner.skinner_g import GenericLearningRun, SkinnerG
+from repro.skinner.skinner_g import GenericEngineProvider, GenericLearningRun, SkinnerG
 from repro.storage.catalog import Catalog
 
 _MAX_ROUNDS = 64
@@ -51,7 +51,15 @@ class SkinnerHTask(EngineTask):
         self._query = query
         self._started = time.perf_counter()
         self._plan = engine._traditional_plan(query)
-        self.run = GenericLearningRun(engine._catalog, query, engine._udfs, engine._config)
+        # One pluggable substrate serves both sides of the hybrid: the
+        # learning run's batch attempts and the traditional plan's timed
+        # whole-query attempts.  ``None`` keeps the historical internal
+        # executor paths byte-identical.
+        self._substrate = engine._generic._make_generic_engine(query)
+        self.run = GenericLearningRun(
+            engine._catalog, query, engine._udfs, engine._config,
+            engine=self._substrate,
+        )
         self._traditional_meter = CostMeter()
         self._result: QueryResult | None = None
         self.finished = False
@@ -90,21 +98,33 @@ class SkinnerHTask(EngineTask):
         for round_index in range(_MAX_ROUNDS):
             budget = engine._config.base_timeout * 2**round_index
             # 1. Try the traditional optimizer's plan under the current timeout.
-            executor = PlanExecutor(engine._catalog, query, engine._udfs,
-                                    join_mode=engine._config.join_mode)
-            attempt_meter = CostMeter(budget=budget)
             relation = None
-            try:
-                relation = executor.execute_order(plan.order, attempt_meter)
-            except BudgetExceeded:
-                pass
-            finally:
-                # Merge unconditionally: an attempt aborted by any other
-                # exception (e.g. a raising UDF) still consumed this work,
-                # and the serving ledger reads it through work_total().
+            if self._substrate is None:
+                executor = PlanExecutor(engine._catalog, query, engine._udfs,
+                                        join_mode=engine._config.join_mode)
+                attempt_tables = executor.tables
+                attempt_meter = CostMeter(budget=budget)
+                try:
+                    relation = executor.execute_order(plan.order, attempt_meter)
+                except BudgetExceeded:
+                    pass
+                finally:
+                    # Merge unconditionally: an attempt aborted by any other
+                    # exception (e.g. a raising UDF) still consumed this work,
+                    # and the serving ledger reads it through work_total().
+                    self._traditional_meter.merge(attempt_meter)
+            else:
+                attempt_meter, relation = self._substrate.execute_plan(plan.order, budget)
+                attempt_tables = self._substrate.tables
                 self._traditional_meter.merge(attempt_meter)
             if relation is not None:
-                output = post_process(query, relation, executor.tables, engine._udfs,
+                # Canonical row order: the executor's output order is an
+                # artifact (hash-join emission vs an external engine's scan
+                # order); lexsorting by the query's aliases makes the
+                # materialized rows byte-identical across substrates and
+                # identical to the learning path's result-set order.
+                relation = relation.canonical_order(query.aliases)
+                output = post_process(query, relation, attempt_tables, engine._udfs,
                                       self._traditional_meter,
                                       mode=engine._config.postprocess_mode)
                 self._result = engine._traditional_result(
@@ -143,6 +163,8 @@ class SkinnerH(ExecutionBackend):
         dbms_profile: str | EngineProfile = "postgres",
         statistics: StatisticsCatalog | None = None,
         threads: int = 1,
+        generic_engine: "GenericEngineProvider | None" = None,
+        backend_label: str | None = None,
     ) -> None:
         self._catalog = catalog
         self._udfs = udfs
@@ -152,14 +174,16 @@ class SkinnerH(ExecutionBackend):
         )
         self._statistics = statistics
         self._threads = threads
+        self._backend_label = backend_label
         self._generic = SkinnerG(
-            catalog, udfs, config, dbms_profile=self._profile, threads=threads
+            catalog, udfs, config, dbms_profile=self._profile, threads=threads,
+            generic_engine=generic_engine, backend_label=backend_label,
         )
 
     @property
     def name(self) -> str:
         """Engine name used in reports."""
-        return f"skinner-h({self._profile.name})"
+        return f"skinner-h({self._backend_label or self._profile.name})"
 
     # ------------------------------------------------------------------
     # planning with the traditional optimizer

@@ -10,7 +10,16 @@ from repro.storage.table import Table
 
 FAST = SkinnerConfig(slice_budget=64, batches_per_table=3, base_timeout=200)
 
-BUILTINS = ("skinner-c", "skinner-g", "skinner-h", "traditional", "eddy", "reoptimizer")
+BUILTINS = (
+    "skinner-c",
+    "skinner-g",
+    "skinner-h",
+    "traditional",
+    "eddy",
+    "reoptimizer",
+    "skinner_g_sqlite",
+    "skinner_h_sqlite",
+)
 
 
 class ToyEngine:

@@ -137,7 +137,8 @@ class TestExperimentDrivers:
                     | {f"figure{i}" for i in range(6, 14)}
                     | {"postprocess_pipeline", "hashjoin_kernel",
                        "concurrent_serving", "streaming_cursor",
-                       "multitenant_server", "cold_vs_warm_start"})
+                       "multitenant_server", "cold_vs_warm_start",
+                       "external_sqlite"})
         assert set(EXPERIMENTS) == expected
 
     def test_figure12_tiny_run_has_expected_shape(self):

@@ -64,12 +64,12 @@ class TestDsnParsing:
     def test_full_dsn(self):
         assert parse_dsn(
             "repro://db.example:8123/?tenant=ops&timeout=2.5&workers=4"
-            "&data_dir=/var/lib/repro"
-        ) == ("db.example", 8123, "ops", 2.5, 4, "/var/lib/repro")
+            "&data_dir=/var/lib/repro&engine=Skinner-G"
+        ) == ("db.example", 8123, "ops", 2.5, 4, "/var/lib/repro", "skinner-g")
 
     def test_defaults(self):
         assert parse_dsn("repro://localhost/") == (
-            "localhost", DEFAULT_PORT, None, None, None, None
+            "localhost", DEFAULT_PORT, None, None, None, None, None
         )
 
     def test_rejects_blank_data_dir(self):
