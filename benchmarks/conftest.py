@@ -46,6 +46,9 @@ _SMOKE_LIMITS: dict[str, Any] = {
     "clients": 3,
     "queries_per_client": 2,
     "heavy_sessions": 2,
+    "documents": 3,
+    "items_per_document": 8,
+    "depth": 1,
 }
 
 
@@ -62,8 +65,9 @@ def _sweep_stray_data_dirs():
     ``data_dir``) in one ``tempfile.mkdtemp(prefix="repro-bench-data-")``
     directory and remove it themselves; a run that dies mid-experiment
     leaves it behind.  The external-engine benchmarks likewise scratch
-    their sqlite mirrors into ``repro-mirror-*.sqlite`` files deleted on
-    ``Connection.close()``.  Sweeping both patterns before *and* after the
+    their sqlite mirrors into ``repro-mirror-*.sqlite`` files plus
+    per-table ``repro-mirror-*.sqlite.tables/`` directories deleted on
+    ``Connection.close()``.  Sweeping all patterns before *and* after the
     session keeps the runner's temp space bounded no matter how the
     previous run ended.
     """
@@ -77,9 +81,11 @@ def _remove_stray_data_dirs() -> None:
     for path in glob.glob(pattern):
         if os.path.isdir(path):
             shutil.rmtree(path, ignore_errors=True)
-    mirrors = os.path.join(tempfile.gettempdir(), "repro-mirror-*.sqlite")
+    mirrors = os.path.join(tempfile.gettempdir(), "repro-mirror-*")
     for path in glob.glob(mirrors):
-        if os.path.isfile(path):
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
+        elif os.path.isfile(path):
             try:
                 os.unlink(path)
             except OSError:

@@ -461,6 +461,30 @@ class Connection:
         self._check_open()
         return self._transport.load_csv(path, table_name, replace=replace)
 
+    def load_document(
+        self,
+        path: str | Path,
+        table_name: str | None = None,
+        *,
+        format: str | None = None,
+        replace: bool = False,
+    ) -> Table:
+        """Shred an XML or JSON document into a relational node table.
+
+        The document is parsed client-side and shredded into one row per
+        node (pre/post order, parent, depth, kind/tag, typed value columns
+        — see ``docs/docstore.md``); XPath-style axis queries over the
+        table are built with :mod:`repro.docstore.axes`.  ``format`` is
+        ``"xml"`` or ``"json"``, inferred from the file suffix when
+        ``None``.  Like :meth:`load_csv`, re-loading identical bytes into a
+        durable catalog is a warm-start no-op, and the parsed columns ship
+        over the wire on remote connections.
+        """
+        self._check_open()
+        return self._transport.load_document(
+            path, table_name, format=format, replace=replace
+        )
+
     def register_udf(
         self,
         name: str,
@@ -548,7 +572,11 @@ class Connection:
         ``REPRO_PARALLEL_WORKERS`` resolution), remotely the value the
         server granted in the handshake.  ``engines`` lists the resolvable
         engine names (local connections only — a remote server owns its
-        registry).
+        registry).  ``caches`` echoes the serving layer's result- and
+        join-order-cache counters (hits/misses/invalidations): live values
+        once this connection's server exists, zeroed counters before the
+        first execution, and ``None`` remotely (read :meth:`stats` for the
+        server-side numbers).
         """
         self._check_open()
         if self._remote:
@@ -560,8 +588,17 @@ class Connection:
                 "engine": self.default_engine,
                 "engines": None,
                 "autocommit": False,
+                "caches": None,
             }
         assert self.config is not None and self.registry is not None
+        if self._server is not None:
+            caches = {
+                "result": self._server.result_cache.counters(),
+                "order": self._server.order_cache.counters(),
+            }
+        else:  # no execution yet — report zeroed counters, don't boot serving
+            zeroed = {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+            caches = {"result": dict(zeroed), "order": dict(zeroed)}
         return {
             "remote": False,
             "tenant": self.tenant,
@@ -570,6 +607,7 @@ class Connection:
             "engine": self.default_engine,
             "engines": self.registry.names(),
             "autocommit": self.autocommit,
+            "caches": caches,
         }
 
     def execute(

@@ -17,6 +17,7 @@ from repro.bench.experiments_figures import (
     figure12,
     figure13,
 )
+from repro.bench.experiments_docstore import docstore_axes
 from repro.bench.experiments_external import external_sqlite
 from repro.bench.experiments_hashjoin import hashjoin_kernel
 from repro.bench.experiments_postprocess import postprocess_pipeline
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "streaming_cursor": streaming_cursor,
     "cold_vs_warm_start": cold_vs_warm_start,
     "external_sqlite": external_sqlite,
+    "docstore_axes": docstore_axes,
 }
 
 __all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

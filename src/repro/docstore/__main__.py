@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m repro.docstore`` runs the churn driver."""
+
+from repro.docstore.churn import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,12 +13,20 @@ dependency, and two properties the contract needs —
   interrupts the statement — that is how budgets abort a batch without
   ever consulting wall-clock time.
 
-Mirrors live in a scratch database file (``repro-mirror-*.sqlite`` under
-the system temp directory) owned and deleted by the adapter; each table is
-``("_repro_rid" INTEGER PRIMARY KEY, <columns>)`` with strings decoded
-from their dictionaries and NaN floats stored as ``NULL`` (sqlite binds
-NaN as ``NULL``, which matches the internal engine's "NaN keys never
-match" semantics).
+Mirrors are **per-table database files**: each catalog table lives in its
+own file under a scratch directory (``repro-mirror-*.sqlite.tables/``)
+``ATTACH``-ed to the main scratch database (``repro-mirror-*.sqlite``),
+both owned and deleted by the adapter.  A table whose content fingerprint
+is unchanged keeps its file byte-for-byte — after a small transaction only
+the touched tables are rewritten, so re-mirroring cost (and file mtimes)
+track the *delta*, not the catalog size.  sqlite resolves unqualified
+table names across attached databases, so the emitter's SQL needs no
+qualification; the attach set is kept under sqlite's attached-database
+limit by detaching tables the current query does not reference.  Each
+table is ``("_repro_rid" INTEGER PRIMARY KEY, <columns>)`` with strings
+decoded from their dictionaries and NaN floats stored as ``NULL`` (sqlite
+binds NaN as ``NULL``, which matches the internal engine's "NaN keys
+never match" semantics).
 """
 
 from __future__ import annotations
@@ -49,9 +57,14 @@ _SQL_TYPES = {
     ColumnType.STRING: "TEXT",
 }
 
+#: Attached per-table databases kept below sqlite's default limit of 10
+#: (headroom for main + temp); queries referencing more distinct tables
+#: recycle attachments of tables outside their own reference set.
+_MAX_ATTACHED = 8
+
 
 class SqliteAdapter(DbmsAdapter):
-    """Mirror catalog tables into a scratch sqlite database and run batches."""
+    """Mirror catalog tables into per-table sqlite files and run batches."""
 
     dialect = "sqlite"
 
@@ -61,8 +74,14 @@ class SqliteAdapter(DbmsAdapter):
             handle, path = tempfile.mkstemp(prefix="repro-mirror-", suffix=".sqlite")
             os.close(handle)
         self.path = path
+        self._tables_dir = path + ".tables"
         self._conn: sqlite3.Connection | None = None
         self._mirrored: dict[str, str] = {}
+        #: Stable schema alias per table name (``m0``, ``m1``, ...) — also
+        #: the per-table file's stem, so an untouched table keeps one file
+        #: for the adapter's whole lifetime.
+        self._schemas: dict[str, str] = {}
+        self._attached: set[str] = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -100,42 +119,107 @@ class SqliteAdapter(DbmsAdapter):
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        self._attached.clear()
         self._mirrored.clear()
         if self._owns_path and not self._closed:
+            for alias in self._schemas.values():
+                try:
+                    os.unlink(os.path.join(self._tables_dir, f"{alias}.sqlite"))
+                except FileNotFoundError:
+                    pass
+            try:
+                os.rmdir(self._tables_dir)
+            except OSError:
+                pass  # absent, or a foreign file landed in it
             try:
                 os.unlink(self.path)
             except FileNotFoundError:
                 pass
+        self._schemas.clear()
         self._closed = True
 
     # ------------------------------------------------------------------
     # mirroring
     # ------------------------------------------------------------------
+    def table_path(self, name: str) -> str:
+        """The per-table mirror file a catalog table lives in.
+
+        Stable for the adapter's lifetime — delta re-mirrors rewrite the
+        file in place only when the table's content fingerprint changed,
+        which is what the sibling-commit regression test observes.
+        """
+        alias = self._schemas.get(name)
+        if alias is None:
+            alias = f"m{len(self._schemas)}"
+            self._schemas[name] = alias
+        return os.path.join(self._tables_dir, f"{alias}.sqlite")
+
     def mirror(self, catalog: Catalog, names: Iterable[str]) -> None:
-        conn = self._require_conn()
-        for name in dict.fromkeys(names):
+        wanted = list(dict.fromkeys(names))
+        for name in wanted:
             fingerprint = table_fingerprint(catalog, name)
-            if self._mirrored.get(name) == fingerprint:
-                continue
-            table = catalog.table(name)
-            columns = [
-                f"{quote_ident(column_name)} {_SQL_TYPES[table.column(column_name).ctype]}"
-                for column_name in table.column_names
-            ]
-            column_list = ", ".join(
-                [f"{quote_ident(RID_COLUMN)} INTEGER PRIMARY KEY", *columns]
-            )
-            conn.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
-            conn.execute(f"CREATE TABLE {quote_ident(name)} ({column_list})")
+            if self._mirrored.get(name) != fingerprint:
+                self._write_table_file(catalog, name)
+                self._mirrored[name] = fingerprint
+        for name in wanted:
+            self._ensure_attached(name, keep=wanted)
+
+    def _write_table_file(self, catalog: Catalog, name: str) -> None:
+        """(Re)build one table's mirror file from the catalog's content."""
+        self._detach(name)
+        os.makedirs(self._tables_dir, exist_ok=True)
+        path = self.table_path(name)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        table = catalog.table(name)
+        columns = [
+            f"{quote_ident(column_name)} {_SQL_TYPES[table.column(column_name).ctype]}"
+            for column_name in table.column_names
+        ]
+        column_list = ", ".join(
+            [f"{quote_ident(RID_COLUMN)} INTEGER PRIMARY KEY", *columns]
+        )
+        writer = sqlite3.connect(path, isolation_level=None)
+        try:
+            writer.execute(f"CREATE TABLE {quote_ident(name)} ({column_list})")
             value_lists = [
                 table.column(column_name).values() for column_name in table.column_names
             ]
             placeholders = ", ".join("?" for _ in range(len(value_lists) + 1))
-            conn.executemany(
+            writer.execute("BEGIN")
+            writer.executemany(
                 f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
                 zip(range(table.num_rows), *value_lists),
             )
-            self._mirrored[name] = fingerprint
+            writer.execute("COMMIT")
+        finally:
+            writer.close()
+
+    def _ensure_attached(self, name: str, keep: Sequence[str]) -> None:
+        if name in self._attached:
+            return
+        conn = self._require_conn()
+        if len(self._attached) >= _MAX_ATTACHED:
+            # Recycle attachments the current query does not reference;
+            # their files stay on disk, so re-attaching later is free.
+            for other in list(self._attached):
+                if other not in keep:
+                    self._detach(other)
+                if len(self._attached) < _MAX_ATTACHED:
+                    break
+        alias = self._schemas[name]
+        conn.execute(f"ATTACH DATABASE ? AS {quote_ident(alias)}",
+                     (self.table_path(name),))
+        self._attached.add(name)
+
+    def _detach(self, name: str) -> None:
+        if name not in self._attached:
+            return
+        conn = self._require_conn()
+        conn.execute(f"DETACH DATABASE {quote_ident(self._schemas[name])}")
+        self._attached.discard(name)
 
     # ------------------------------------------------------------------
     # budgeted execution

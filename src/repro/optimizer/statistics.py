@@ -139,11 +139,18 @@ def _collect_column(column: Column, sample_limit: int) -> ColumnStatistics:
     if column.ctype is ColumnType.STRING:
         return ColumnStatistics(distinct_count=distinct, min_value=None, max_value=None)
     data = sampled.data.astype(np.float64)
-    histogram, edges = np.histogram(data, bins=_HISTOGRAM_BUCKETS)
+    # NaN entries (e.g. the "no numeric value" marker of shredded document
+    # tables) carry no range information and would poison the histogram's
+    # autodetected bounds; statistics describe the finite values only.
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return ColumnStatistics(distinct_count=distinct, min_value=None,
+                                max_value=None)
+    histogram, edges = np.histogram(finite, bins=_HISTOGRAM_BUCKETS)
     return ColumnStatistics(
         distinct_count=distinct,
-        min_value=float(data.min()),
-        max_value=float(data.max()),
+        min_value=float(finite.min()),
+        max_value=float(finite.max()),
         histogram=tuple(int(c) for c in histogram),
         histogram_edges=tuple(float(e) for e in edges),
     )

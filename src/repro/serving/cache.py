@@ -82,6 +82,7 @@ class _LruCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,7 +111,23 @@ class _LruCache:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop every entry and count the invalidation.
+
+        ``invalidations`` counts *calls* (schema/UDF mutations), not dropped
+        entries — the churn drivers assert the counter moved even when a
+        mutation lands before the first cacheable completion.
+        """
         self._entries.clear()
+        self.invalidations += 1
+
+    def counters(self) -> dict[str, int]:
+        """Entry count plus lifetime hit/miss/invalidation counters."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
 
 
 class ResultCache(_LruCache):

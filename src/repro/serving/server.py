@@ -138,9 +138,17 @@ class QueryServer:
         self.result_cache = ResultCache(config.serving_result_cache_size)
         self.order_cache = JoinOrderCache(config.serving_order_cache_size)
         self._completed = 0
+        #: Bumped by every :meth:`invalidate_caches`; sessions record the
+        #: epoch they snapshotted the catalog under so results computed
+        #: against stale data never enter the result cache.
+        self._catalog_epoch = 0
         #: Work units charged per tenant (survives ``forget``); feeds the
         #: per-tenant grant shares of :meth:`stats`.
         self._tenant_work: dict[str, int] = {}
+        #: Per-tenant cache observations (survive ``forget``): result-cache
+        #: lookups from this tenant's submissions and order-cache warm-start
+        #: probes for them.
+        self._tenant_caches: dict[str, dict[str, int]] = {}
         #: Wall-clock seconds spent inside scheduling grants — the
         #: reference-time companion of the deterministic work ledger.
         self._grant_wall_seconds = 0.0
@@ -205,6 +213,8 @@ class QueryServer:
         self._sessions[session.ticket] = session
         if use_result_cache:
             cached = self.result_cache.get_result(fingerprint)
+            counters = self._tenant_cache_counters(tenant)
+            counters["result_hits" if cached is not None else "result_misses"] += 1
             if cached is not None:
                 session.result = self._cached_copy(cached)
                 session.state = SessionState.FINISHED
@@ -424,11 +434,17 @@ class QueryServer:
         """Drop cached results, join-order priors, and collected statistics.
 
         Must be called whenever the underlying catalog or UDF registry
-        changes; the facade does this on every schema mutation.
+        changes; the facade does this on every schema mutation.  The epoch
+        bump additionally fences in-flight sessions: a task that snapshotted
+        its tables under the old epoch still finishes (and still answers
+        correctly for *its* submission time), but its result and learned
+        orders are discarded instead of cached — post-mutation submissions
+        must never be served pre-mutation rows.
         """
         self.result_cache.clear()
         self.order_cache.clear()
         self._statistics = None
+        self._catalog_epoch += 1
 
     def stats(self) -> dict[str, Any]:
         """Server-level counters (cache efficiency, load, completions)."""
@@ -439,17 +455,10 @@ class QueryServer:
             "queued": len(self._admission.queued),
             "work_total": self.ledger.grand_total(),
             "grant_wall_seconds": self._grant_wall_seconds,
+            "catalog_epoch": self._catalog_epoch,
             "tenants": self.tenant_stats(),
-            "result_cache": {
-                "entries": len(self.result_cache),
-                "hits": self.result_cache.hits,
-                "misses": self.result_cache.misses,
-            },
-            "order_cache": {
-                "entries": len(self.order_cache),
-                "hits": self.order_cache.hits,
-                "misses": self.order_cache.misses,
-            },
+            "result_cache": self.result_cache.counters(),
+            "order_cache": self.order_cache.counters(),
         }
 
     # ------------------------------------------------------------------
@@ -480,15 +489,23 @@ class QueryServer:
         )
 
     def tenant_stats(self) -> dict[str, dict[str, Any]]:
-        """Per-tenant load and grant shares (the metrics verb's payload)."""
+        """Per-tenant load, grant shares, and cache observations.
+
+        Each tenant's ``caches`` entry reports the result-cache lookups its
+        submissions performed and the order-cache warm-start probes made on
+        their behalf; ``invalidations`` is the shared invalidation count
+        (the caches are server-wide, so every tenant sees the same value).
+        """
         tenants: set[str] = set(self._tenant_work)
         tenants.update(session.tenant for session in self._sessions.values())
+        tenants.update(self._tenant_caches)
         total_work = sum(self._tenant_work.values())
         inflight = self._admission.inflight
         report: dict[str, dict[str, Any]] = {}
         for tenant in sorted(tenants):
             work = self._tenant_work.get(tenant, 0)
             sessions = [s for s in self._sessions.values() if s.tenant == tenant]
+            caches = self._tenant_cache_counters(tenant)
             report[tenant] = {
                 "work": work,
                 "grant_share": (work / total_work) if total_work else 0.0,
@@ -497,8 +514,31 @@ class QueryServer:
                 "queued": sum(1 for s in sessions if s.state is SessionState.QUEUED),
                 "inflight": sum(1 for s in sessions if s in inflight),
                 "wall_seconds": sum(s.wall_seconds for s in sessions),
+                "caches": {
+                    "result": {
+                        "hits": caches["result_hits"],
+                        "misses": caches["result_misses"],
+                    },
+                    "order": {
+                        "hits": caches["order_hits"],
+                        "misses": caches["order_misses"],
+                    },
+                    "invalidations": self.result_cache.invalidations,
+                },
             }
         return report
+
+    def _tenant_cache_counters(self, tenant: str) -> dict[str, int]:
+        counters = self._tenant_caches.get(tenant)
+        if counters is None:
+            counters = {
+                "result_hits": 0,
+                "result_misses": 0,
+                "order_hits": 0,
+                "order_misses": 0,
+            }
+            self._tenant_caches[tenant] = counters
+        return counters
 
     def session(self, ticket: int) -> QuerySession:
         """The session object behind a ticket (inspection and tests)."""
@@ -596,14 +636,17 @@ class QueryServer:
         ):
             return ()
         cap = max(1, session.config.serving_warm_start_visits)
+        priors = self.order_cache.priors(join_graph_signature(session.query))
+        counters = self._tenant_cache_counters(session.tenant)
+        counters["order_hits" if priors else "order_misses"] += 1
         return tuple(
-            (order, reward, min(visits, cap))
-            for order, reward, visits in self.order_cache.priors(
-                join_graph_signature(session.query)
-            )
+            (order, reward, min(visits, cap)) for order, reward, visits in priors
         )
 
     def _activate(self, session: QuerySession) -> None:
+        # Task construction snapshots the input tables; remember under which
+        # epoch, so completion knows whether the result is still cacheable.
+        session.catalog_epoch = self._catalog_epoch
         context = EngineContext(
             self._catalog,
             self._udfs,
@@ -672,9 +715,17 @@ class QueryServer:
             # fetchable now (incremental sessions already streamed it all).
             self._deliver_result_rows(session, session.result)
         self._scheduler.remove(session)
-        if session.fingerprint is not None:
+        # Cache only epoch-current results: a schema mutation that landed
+        # while this task ran already invalidated the caches, and inserting
+        # now would resurrect pre-mutation rows for post-mutation
+        # submissions (the same fence covers learned join orders).
+        if (
+            session.fingerprint is not None
+            and session.catalog_epoch == self._catalog_epoch
+        ):
             self.result_cache.put_result(session.fingerprint, session.result)
-        self._record_learned_orders(session)
+        if session.catalog_epoch == self._catalog_epoch:
+            self._record_learned_orders(session)
         # Release the per-query execution state (preprocessed tables, result
         # set, tracker, UCT tree, shared-memory segments) — only the result
         # outlives completion.

@@ -138,7 +138,7 @@ class TestExperimentDrivers:
                     | {"postprocess_pipeline", "hashjoin_kernel",
                        "concurrent_serving", "streaming_cursor",
                        "multitenant_server", "cold_vs_warm_start",
-                       "external_sqlite"})
+                       "external_sqlite", "docstore_axes"})
         assert set(EXPERIMENTS) == expected
 
     def test_figure12_tiny_run_has_expected_shape(self):

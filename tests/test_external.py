@@ -249,6 +249,43 @@ class TestMirrorLifecycle:
         finally:
             conn.close()
 
+    def test_sibling_commit_leaves_untouched_mirror_file_alone(self):
+        """Delta re-mirroring: a commit to one table must not rewrite the
+        per-table mirror file of an untouched sibling (mtime and bytes both
+        stable), while the touched table's file does change."""
+        import hashlib
+
+        def sha(path):
+            with open(path, "rb") as handle:
+                return hashlib.sha256(handle.read()).hexdigest()
+
+        conn = connect(FAST)
+        try:
+            conn.create_table("a", {"x": [1, 2, 3]})
+            conn.create_table("b", {"y": [1, 2]})
+            conn.commit()
+            query = make_query(
+                [("a", "a"), ("b", "b")],
+                predicates=[column_equals_column("a", "x", "b", "y")],
+                select_items=[SelectItem(expression=ColumnRef("a", "x"), alias="x")],
+            )
+            assert sorted(rows_of(conn.execute_direct(query, engine="skinner_g_sqlite"))) \
+                == [(1,), (2,)]
+            adapter = sqlite_adapter_for(conn.catalog)
+            a_path, b_path = adapter.table_path("a"), adapter.table_path("b")
+            b_mtime, b_sha = os.stat(b_path).st_mtime_ns, sha(b_path)
+            a_sha = sha(a_path)
+            conn.create_table("a", {"x": [2, 9]}, replace=True)
+            conn.commit()
+            assert sorted(rows_of(conn.execute_direct(query, engine="skinner_g_sqlite"))) \
+                == [(2,)]
+            assert adapter.table_path("b") == b_path  # path is stable too
+            assert os.stat(b_path).st_mtime_ns == b_mtime
+            assert sha(b_path) == b_sha
+            assert sha(a_path) != a_sha
+        finally:
+            conn.close()
+
     def test_mirror_file_removed_on_connection_close(self):
         conn = connect(FAST)
         conn.create_table("t", {"x": [1, 2]})
